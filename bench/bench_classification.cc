@@ -1,0 +1,81 @@
+// E2 — Schema classification cost vs schema size.
+//
+// Paper, Section 5: concepts entering the schema are "compared to each
+// other to establish the subsumption hierarchy", with the two-phase
+// most-specific-subsumer / most-general-subsumee search. This bench
+// measures (a) the cost of classifying one new concept into schemas of
+// growing size and (b) the total subsumption tests per insert, showing
+// that the top-down pruning keeps the test count well below the
+// all-pairs bound.
+
+#include <benchmark/benchmark.h>
+
+#include "classic/database.h"
+#include "util/string_util.h"
+#include "workload.h"
+
+namespace classic::bench {
+namespace {
+
+void BM_ClassifyIntoSchema(benchmark::State& state) {
+  const size_t schema_size = static_cast<size_t>(state.range(0));
+  Database db;
+  SchemaSpec spec;
+  spec.num_primitives = schema_size / 2;
+  spec.num_defined = schema_size - spec.num_primitives;
+  spec.seed = 42;
+  SchemaHandles schema = BuildSchema(&db, spec);
+
+  // Classify a fresh concept (not inserted) against the taxonomy.
+  auto d = ParseDescriptionString(
+      StrCat("(AND ", schema.primitive_names.back(), " (AT-LEAST 1 ",
+             schema.role_names[0], "))"),
+      &db.kb().vocab().symbols());
+  if (!d.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  auto nf = db.kb().normalizer().NormalizeConcept(*d);
+  if (!nf.ok()) {
+    state.SkipWithError("normalize failed");
+    return;
+  }
+
+  size_t tests = 0;
+  for (auto _ : state) {
+    Classification cls = db.kb().taxonomy().Classify(**nf);
+    tests = cls.subsumption_tests;
+    benchmark::DoNotOptimize(cls);
+  }
+  state.counters["schema_nodes"] =
+      static_cast<double>(db.kb().taxonomy().num_nodes());
+  state.counters["subsumption_tests"] = static_cast<double>(tests);
+  state.counters["allpairs_bound"] =
+      static_cast<double>(db.kb().taxonomy().num_nodes() * 2);
+}
+BENCHMARK(BM_ClassifyIntoSchema)->RangeMultiplier(2)->Range(32, 1024);
+
+void BM_BuildWholeSchema(benchmark::State& state) {
+  const size_t schema_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Database db;
+    SchemaSpec spec;
+    spec.num_primitives = schema_size / 2;
+    spec.num_defined = schema_size - spec.num_primitives;
+    spec.seed = 42;
+    SchemaHandles schema = BuildSchema(&db, spec);
+    benchmark::DoNotOptimize(schema);
+    state.counters["insert_tests_total"] =
+        static_cast<double>(db.kb().taxonomy().total_insert_tests());
+  }
+  state.counters["concepts"] = static_cast<double>(schema_size);
+}
+BENCHMARK(BM_BuildWholeSchema)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace classic::bench
+
+BENCHMARK_MAIN();

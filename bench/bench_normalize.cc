@@ -1,0 +1,119 @@
+// E6 — Normalization and equivalence recognition.
+//
+// Paper, Section 2.2: "it is quite possible for several different concept
+// expressions to denote the same class" — e.g. (ALL r (AND A B)) vs
+// (AND (ALL r A) (ALL r B)), and the enumeration/AT-MOST interaction.
+// "The recognition of all the necessary equivalences is the kind of
+// inference that is at the core of the limited deduction and query
+// processing performed by the CLASSIC system."
+//
+// This bench times (a) normalization of the paper's equivalence pairs,
+// (b) the equivalence decision itself, and (c) normalization throughput
+// over synthetic expressions of growing size (complementing E1).
+
+#include <benchmark/benchmark.h>
+
+#include "classic/database.h"
+#include "subsume/subsume.h"
+#include "workload.h"
+
+namespace classic::bench {
+namespace {
+
+struct PaperPairs {
+  Database db;
+  std::vector<std::pair<DescPtr, DescPtr>> pairs;
+
+  PaperPairs() {
+    PrepareExpressionVocabulary(&db);
+    auto& sym = db.kb().vocab().symbols();
+    auto must_create = [&](const char* n) {
+      if (!db.CreateIndividual(n).ok()) std::abort();
+    };
+    must_create("Ford-1");
+    must_create("Volvo-2");
+    must_create("Toyota-3");
+    must_create("VW-4");
+    auto parse = [&](const std::string& s) {
+      auto d = ParseDescriptionString(s, &sym);
+      if (!d.ok()) std::abort();
+      return *d;
+    };
+    pairs = {
+        {parse("(AND (ALL xr0 (PRIMITIVE CLASSIC-THING xp0)) "
+               "(ALL xr0 (PRIMITIVE CLASSIC-THING xp1)))"),
+         parse("(ALL xr0 (AND (PRIMITIVE CLASSIC-THING xp0) "
+               "(PRIMITIVE CLASSIC-THING xp1)))")},
+        {parse("(ALL xr0 (AND (ONE-OF Ford-1 Volvo-2 Toyota-3) "
+               "(ONE-OF Volvo-2 Toyota-3 VW-4)))"),
+         parse("(AND (ALL xr0 (ONE-OF Volvo-2 Toyota-3)) "
+               "(AT-MOST 2 xr0))")},
+        {parse("(EXACTLY-ONE xr1)"),
+         parse("(AND (AT-LEAST 1 xr1) (AT-MOST 1 xr1))")},
+    };
+  }
+};
+
+void BM_PaperEquivalences(benchmark::State& state) {
+  PaperPairs fx;
+  auto& norm = fx.db.kb().normalizer();
+  for (auto _ : state) {
+    for (const auto& [a, b] : fx.pairs) {
+      auto na = norm.NormalizeConcept(a);
+      auto nb = norm.NormalizeConcept(b);
+      if (!na.ok() || !nb.ok() || !Equivalent(**na, **nb)) {
+        state.SkipWithError("equivalence not recognized");
+        return;
+      }
+    }
+  }
+  state.counters["pairs"] = static_cast<double>(fx.pairs.size());
+}
+BENCHMARK(BM_PaperEquivalences);
+
+void BM_EquivalenceDecision(benchmark::State& state) {
+  PaperPairs fx;
+  auto& norm = fx.db.kb().normalizer();
+  std::vector<std::pair<NormalFormPtr, NormalFormPtr>> nfs;
+  for (const auto& [a, b] : fx.pairs) {
+    auto na = norm.NormalizeConcept(a);
+    auto nb = norm.NormalizeConcept(b);
+    if (!na.ok() || !nb.ok()) {
+      state.SkipWithError("normalize failed");
+      return;
+    }
+    nfs.emplace_back(*na, *nb);
+  }
+  for (auto _ : state) {
+    for (const auto& [na, nb] : nfs) {
+      bool eq = Equivalent(*na, *nb);
+      benchmark::DoNotOptimize(eq);
+    }
+  }
+}
+BENCHMARK(BM_EquivalenceDecision);
+
+void BM_NormalizeThroughput(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  Database db;
+  PrepareExpressionVocabulary(&db);
+  std::vector<DescPtr> exprs;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    exprs.push_back(MakeConceptOfSize(&db, size, 1000 + seed));
+  }
+  auto& norm = db.kb().normalizer();
+  size_t n = 0;
+  for (auto _ : state) {
+    auto nf = norm.NormalizeConcept(exprs[n % exprs.size()]);
+    benchmark::DoNotOptimize(nf);
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+  state.counters["expr_size"] = static_cast<double>(size);
+}
+BENCHMARK(BM_NormalizeThroughput)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+}  // namespace classic::bench
+
+BENCHMARK_MAIN();

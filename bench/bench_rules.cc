@@ -1,0 +1,146 @@
+// E5 — Forward-chaining rule propagation to a fixed point.
+//
+// Paper, Section 5: "Each rule is associated with a specific schema
+// concept and the rule application is triggered whenever an individual
+// becomes an instance of that class. Rules continue propagating until a
+// fixed point is reached." Termination is bounded by #classes x
+// #individuals, and each rule fires at most once per individual.
+//
+// Scenarios: (a) a chain of N rules triggered by one assert (depth), (b)
+// one rule over N existing instances (breadth), (c) rules that derive
+// fillers which trigger further recognition (cascade through the ABox).
+
+#include <benchmark/benchmark.h>
+
+#include "classic/database.h"
+#include "util/string_util.h"
+#include "workload.h"
+
+namespace classic::bench {
+namespace {
+
+void BM_RuleChainDepth(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  size_t firings = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    // Chain: C0 -> C1 -> ... -> Cdepth (primitives, linked by rules).
+    for (size_t i = 0; i <= depth; ++i) {
+      if (!db.DefineConcept(StrCat("C", i),
+                            StrCat("(PRIMITIVE CLASSIC-THING c", i, ")"))
+               .ok()) {
+        state.SkipWithError("define failed");
+        return;
+      }
+    }
+    for (size_t i = 0; i < depth; ++i) {
+      if (!db.AssertRule(StrCat("C", i), StrCat("C", i + 1)).ok()) {
+        state.SkipWithError("rule failed");
+        return;
+      }
+    }
+    if (!db.CreateIndividual("X").ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+    state.ResumeTiming();
+    // One assert fires the whole chain.
+    if (!db.AssertInd("X", "C0").ok()) {
+      state.SkipWithError("assert failed");
+      return;
+    }
+    firings = db.kb().stats().rule_firings;
+  }
+  state.counters["chain_depth"] = static_cast<double>(depth);
+  state.counters["rule_firings"] = static_cast<double>(firings);
+}
+BENCHMARK(BM_RuleChainDepth)->RangeMultiplier(2)->Range(4, 256);
+
+void BM_RuleBreadth(benchmark::State& state) {
+  const size_t num_inds = static_cast<size_t>(state.range(0));
+  size_t firings = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    if (!db.DefineRole("r").ok() ||
+        !db.DefineConcept("A", "(PRIMITIVE CLASSIC-THING a)").ok() ||
+        !db.DefineConcept("B", "(PRIMITIVE CLASSIC-THING b)").ok()) {
+      state.SkipWithError("schema failed");
+      return;
+    }
+    for (size_t i = 0; i < num_inds; ++i) {
+      if (!db.CreateIndividual(StrCat("I", i), "A").ok()) {
+        state.SkipWithError("create failed");
+        return;
+      }
+    }
+    state.ResumeTiming();
+    // Adding the rule fires it once per existing instance.
+    if (!db.AssertRule("A", "B").ok()) {
+      state.SkipWithError("rule failed");
+      return;
+    }
+    firings = db.kb().stats().rule_firings;
+  }
+  state.counters["instances"] = static_cast<double>(num_inds);
+  state.counters["rule_firings"] = static_cast<double>(firings);
+}
+BENCHMARK(BM_RuleBreadth)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RuleCascadeThroughFillers(benchmark::State& state) {
+  // A chain of individuals i0 -r-> i1 -r-> ... ; a rule on MARKED derives
+  // (ALL r MARKED), so marking i0 floods the whole chain.
+  const size_t chain = static_cast<size_t>(state.range(0));
+  size_t steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    if (!db.DefineRole("r").ok() ||
+        !db.DefineConcept("MARKED", "(PRIMITIVE CLASSIC-THING marked)")
+             .ok() ||
+        !db.AssertRule("MARKED", "(ALL r MARKED)").ok()) {
+      state.SkipWithError("schema failed");
+      return;
+    }
+    for (size_t i = 0; i < chain; ++i) {
+      if (!db.CreateIndividual(StrCat("N", i)).ok()) {
+        state.SkipWithError("create failed");
+        return;
+      }
+    }
+    for (size_t i = 0; i + 1 < chain; ++i) {
+      if (!db.AssertInd(StrCat("N", i),
+                        StrCat("(FILLS r N", i + 1, ")")).ok()) {
+        state.SkipWithError("fills failed");
+        return;
+      }
+    }
+    state.ResumeTiming();
+    if (!db.AssertInd("N0", "MARKED").ok()) {
+      state.SkipWithError("assert failed");
+      return;
+    }
+    steps = db.kb().stats().propagation_steps;
+    // Everyone is MARKED now.
+    auto marked = db.Ask("MARKED");
+    if (!marked.ok() || marked->size() != chain) {
+      state.SkipWithError("cascade incomplete");
+      return;
+    }
+  }
+  state.counters["chain"] = static_cast<double>(chain);
+  state.counters["propagation_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_RuleCascadeThroughFillers)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace classic::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// E8 (extension) — Persistence and retraction costs.
+//
+// The paper leaves secondary storage as future work ("what algorithms and
+// data structures are best suited ... possibly requiring secondary
+// storage") and announces a destructive-update facility. This bench
+// measures what our simple implementations of both cost:
+//
+//   - snapshot rendering (the whole base as a replayable program),
+//   - recovery (replaying that program, which re-runs all deductions),
+//   - one retraction (base removal + full re-derivation).
+//
+// Recovery deliberately re-derives everything rather than serializing
+// derived state; the bench quantifies that design choice.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "classic/database.h"
+#include "storage/snapshot.h"
+#include "util/string_util.h"
+#include "workload.h"
+
+namespace classic::bench {
+namespace {
+
+void BM_SnapshotDump(benchmark::State& state) {
+  const size_t num_inds = static_cast<size_t>(state.range(0));
+  Database db;
+  StandardWorkload w =
+      BuildStandardWorkload(&db, /*num_concepts=*/80, num_inds, 3);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string dump = storage::DumpDatabase(db.kb());
+    bytes = dump.size();
+    benchmark::DoNotOptimize(dump);
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.counters["individuals"] = static_cast<double>(num_inds);
+}
+BENCHMARK(BM_SnapshotDump)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Recovery(benchmark::State& state) {
+  const size_t num_inds = static_cast<size_t>(state.range(0));
+  std::string path = StrCat("/tmp/classic_bench_recovery_", num_inds,
+                            ".snap");
+  {
+    Database db;
+    StandardWorkload w =
+        BuildStandardWorkload(&db, /*num_concepts=*/80, num_inds, 3);
+    (void)w;
+    if (!db.SaveSnapshot(path).ok()) {
+      state.SkipWithError("snapshot failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    Database restored;
+    Status st = restored.LoadFile(path);
+    if (!st.ok()) {
+      state.SkipWithError("recovery failed");
+      return;
+    }
+    benchmark::DoNotOptimize(restored);
+  }
+  std::remove(path.c_str());
+  state.counters["individuals"] = static_cast<double>(num_inds);
+}
+BENCHMARK(BM_Recovery)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Retraction(benchmark::State& state) {
+  const size_t num_inds = static_cast<size_t>(state.range(0));
+  Database db;
+  StandardWorkload w =
+      BuildStandardWorkload(&db, /*num_concepts=*/80, num_inds, 3);
+  // Alternately retract and reassert one base fact; each call re-derives
+  // the full database (the documented cost of the simple, correct
+  // design).
+  const std::string& ind = w.individuals[0];
+  const std::string expr =
+      StrCat("(FILLS ", w.schema.role_names[0], " ", w.individuals[1], ")");
+  if (!db.AssertInd(ind, expr).ok()) {
+    // May already be asserted by the generator: fine either way.
+  }
+  bool present = true;
+  for (auto _ : state) {
+    Status st = present ? db.RetractInd(ind, expr)
+                        : db.AssertInd(ind, expr);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    present = !present;
+  }
+  state.counters["individuals"] = static_cast<double>(num_inds);
+}
+BENCHMARK(BM_Retraction)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace classic::bench
+
+BENCHMARK_MAIN();

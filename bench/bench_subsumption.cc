@@ -1,0 +1,68 @@
+// E1 — Subsumption cost vs concept size.
+//
+// Paper, Section 5: "The subsumption relationship is established in time
+// proportional to the sizes of the two concepts." This bench normalizes
+// pairs of synthetic concepts of growing size and times Subsumes() on the
+// normal forms; the complexity counter reports size_product so the
+// proportionality claim can be read off directly (time / size_product
+// should be roughly flat).
+
+#include <benchmark/benchmark.h>
+
+#include "classic/database.h"
+#include "subsume/subsume.h"
+#include "workload.h"
+
+namespace classic::bench {
+namespace {
+
+void BM_SubsumptionBySize(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  Database db;
+  PrepareExpressionVocabulary(&db);
+  // Two related concepts: b = a AND extra, so subsumption does real work.
+  DescPtr a = MakeConceptOfSize(&db, size, /*seed=*/100 + size);
+  DescPtr extra = MakeConceptOfSize(&db, size, /*seed=*/200 + size);
+  DescPtr b = Description::And({a, extra});
+
+  auto& norm = db.kb().normalizer();
+  auto nfa = norm.NormalizeConcept(a);
+  auto nfb = norm.NormalizeConcept(b);
+  if (!nfa.ok() || !nfb.ok()) {
+    state.SkipWithError("normalization failed");
+    return;
+  }
+
+  bool expected = Subsumes(**nfa, **nfb);
+  for (auto _ : state) {
+    bool r = Subsumes(**nfa, **nfb);
+    benchmark::DoNotOptimize(r);
+    if (r != expected) state.SkipWithError("nondeterministic subsumption");
+  }
+  state.counters["nf_size_a"] = static_cast<double>((*nfa)->Size());
+  state.counters["nf_size_b"] = static_cast<double>((*nfb)->Size());
+  state.counters["size_product"] =
+      static_cast<double>((*nfa)->Size() * (*nfb)->Size());
+  state.counters["subsumes"] = expected ? 1 : 0;
+}
+BENCHMARK(BM_SubsumptionBySize)->RangeMultiplier(2)->Range(8, 512);
+
+void BM_NormalizeBySize(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  Database db;
+  PrepareExpressionVocabulary(&db);
+  DescPtr a = MakeConceptOfSize(&db, size, /*seed=*/300 + size);
+  auto& norm = db.kb().normalizer();
+  for (auto _ : state) {
+    auto nf = norm.NormalizeConcept(a);
+    benchmark::DoNotOptimize(nf);
+    if (!nf.ok()) state.SkipWithError("normalization failed");
+  }
+  state.counters["tree_size"] = static_cast<double>(a->TreeSize());
+}
+BENCHMARK(BM_NormalizeBySize)->RangeMultiplier(2)->Range(8, 512);
+
+}  // namespace
+}  // namespace classic::bench
+
+BENCHMARK_MAIN();

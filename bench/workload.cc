@@ -1,0 +1,195 @@
+#include "workload.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace classic::bench {
+
+namespace {
+
+constexpr size_t kExprRoles = 8;
+constexpr size_t kExprPrims = 16;
+
+void Must(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "workload: %s failed: %s\n", what,
+                 st.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+void PrepareExpressionVocabulary(Database* db) {
+  for (size_t i = 0; i < kExprRoles; ++i) {
+    Must(db->DefineRole(StrCat("xr", i)), "define-role");
+  }
+  // Primitives are referenced as anonymous (PRIMITIVE CLASSIC-THING xpN)
+  // expressions, so nothing else to declare.
+  (void)kExprPrims;
+}
+
+DescPtr MakeConceptOfSize(Database* db, size_t size, uint64_t seed) {
+  Rng rng(seed);
+  SymbolTable& symbols = db->kb().vocab().symbols();
+
+  std::vector<DescPtr> parts;
+  size_t budget = size;
+  // Track per-role bounds so the expression stays coherent: at-least
+  // bounds stay below at-most bounds.
+  while (budget > 0) {
+    switch (rng.Below(4)) {
+      case 0: {  // primitive atom
+        Symbol idx = symbols.Intern(StrCat("xp", rng.Below(kExprPrims)));
+        parts.push_back(
+            Description::Primitive(Description::ClassicThing(), idx));
+        budget -= std::min<size_t>(budget, 2);
+        break;
+      }
+      case 1: {  // at-least (small, below the at-most floor of 8)
+        Symbol role = symbols.Intern(StrCat("xr", rng.Below(kExprRoles)));
+        parts.push_back(Description::AtLeast(
+            static_cast<uint32_t>(1 + rng.Below(3)), role));
+        budget -= std::min<size_t>(budget, 1);
+        break;
+      }
+      case 2: {  // at-most (large, above any at-least)
+        Symbol role = symbols.Intern(StrCat("xr", rng.Below(kExprRoles)));
+        parts.push_back(Description::AtMost(
+            static_cast<uint32_t>(8 + rng.Below(8)), role));
+        budget -= std::min<size_t>(budget, 1);
+        break;
+      }
+      case 3: {  // nested ALL over a smaller expression
+        if (budget < 4) {
+          budget -= 1;
+          break;
+        }
+        Symbol role = symbols.Intern(StrCat("xr", rng.Below(kExprRoles)));
+        size_t inner = budget / 2;
+        DescPtr nested = MakeConceptOfSize(db, inner, rng.Next());
+        parts.push_back(Description::All(role, nested));
+        budget -= std::min(budget, inner + 2);
+        break;
+      }
+    }
+  }
+  if (parts.empty()) return Description::Thing();
+  if (parts.size() == 1) return parts[0];
+  return Description::And(std::move(parts));
+}
+
+SchemaHandles BuildSchema(Database* db, const SchemaSpec& spec) {
+  Rng rng(spec.seed);
+  SchemaHandles out;
+
+  for (size_t i = 0; i < spec.num_roles; ++i) {
+    std::string name = StrCat("role", i);
+    Must(db->DefineRole(name), "define-role");
+    out.role_names.push_back(name);
+  }
+
+  // Layered primitive tree: PRIM-i's parent is PRIM-((i-1)/branching).
+  for (size_t i = 0; i < spec.num_primitives; ++i) {
+    std::string name = StrCat("PRIM-", i);
+    std::string parent =
+        i == 0 ? std::string("CLASSIC-THING")
+               : StrCat("PRIM-", (i - 1) / spec.branching);
+    Must(db->DefineConcept(name,
+                           StrCat("(PRIMITIVE ", parent, " prim", i, ")")),
+         "define-concept(primitive)");
+    out.primitive_names.push_back(name);
+  }
+
+  // Defined concepts: conjoin a random primitive with 1-3 restrictions.
+  for (size_t i = 0; i < spec.num_defined; ++i) {
+    std::string name = StrCat("DEF-", i);
+    std::string prim =
+        out.primitive_names[rng.Below(out.primitive_names.size())];
+    std::string body = StrCat("(AND ", prim);
+    size_t restrictions = 1 + rng.Below(3);
+    for (size_t k = 0; k < restrictions; ++k) {
+      const std::string& role =
+          out.role_names[rng.Below(out.role_names.size())];
+      switch (rng.Below(3)) {
+        case 0:
+          body += StrCat(" (AT-LEAST ", 1 + rng.Below(3), " ", role, ")");
+          break;
+        case 1:
+          body += StrCat(" (AT-MOST ", 4 + rng.Below(8), " ", role, ")");
+          break;
+        case 2: {
+          const std::string& target =
+              out.primitive_names[rng.Below(out.primitive_names.size())];
+          body += StrCat(" (ALL ", role, " ", target, ")");
+          break;
+        }
+      }
+    }
+    body += ")";
+    Must(db->DefineConcept(name, body), "define-concept(defined)");
+    out.defined_names.push_back(name);
+  }
+
+  return out;
+}
+
+std::vector<std::string> PopulateIndividuals(Database* db,
+                                             const SchemaHandles& schema,
+                                             const AboxSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<std::string> names;
+  names.reserve(spec.num_individuals);
+  for (size_t i = 0; i < spec.num_individuals; ++i) {
+    std::string name = StrCat("Ind-", i);
+    Must(db->CreateIndividual(name), "create-ind");
+    names.push_back(name);
+  }
+  for (size_t i = 0; i < spec.num_individuals; ++i) {
+    const std::string& name = names[i];
+    if (rng.Chance(spec.primitive_assert_prob)) {
+      const std::string& prim =
+          schema.primitive_names[rng.Below(schema.primitive_names.size())];
+      Must(db->AssertInd(name, prim), "assert-ind(primitive)");
+    }
+    for (size_t k = 0; k < spec.fills_per_individual; ++k) {
+      const std::string& role =
+          schema.role_names[rng.Below(schema.role_names.size())];
+      // Fill with an earlier individual to keep the graph acyclic-ish but
+      // connected.
+      const std::string& target = names[rng.Below(i + 1)];
+      Must(db->AssertInd(name,
+                         StrCat("(FILLS ", role, " ", target, ")")),
+           "assert-ind(fills)");
+    }
+    if (rng.Chance(0.25)) {
+      const std::string& role =
+          schema.role_names[rng.Below(schema.role_names.size())];
+      Must(db->AssertInd(name, StrCat("(AT-MOST ", 6 + rng.Below(6), " ",
+                                      role, ")")),
+           "assert-ind(at-most)");
+    }
+  }
+  return names;
+}
+
+StandardWorkload BuildStandardWorkload(Database* db, size_t num_concepts,
+                                       size_t num_individuals,
+                                       uint64_t seed) {
+  SchemaSpec sspec;
+  sspec.num_primitives = num_concepts / 2;
+  sspec.num_defined = num_concepts - sspec.num_primitives;
+  sspec.seed = seed;
+  StandardWorkload out;
+  out.schema = BuildSchema(db, sspec);
+  AboxSpec aspec;
+  aspec.num_individuals = num_individuals;
+  aspec.seed = seed + 1;
+  out.individuals = PopulateIndividuals(db, out.schema, aspec);
+  return out;
+}
+
+}  // namespace classic::bench

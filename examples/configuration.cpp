@@ -1,0 +1,141 @@
+// A computer-configuration knowledge base.
+//
+// The paper mentions "a computer configuration task we have recently
+// undertaken, with a CLASSIC database representing the parts inventory"
+// as the motivating TEST-concept application. The real AT&T inventory is
+// proprietary; this example reproduces its shape: a parts taxonomy,
+// numeric TEST concepts for capacity ranges, recognition of valid
+// configurations, and integrity rejection of invalid ones.
+//
+//   ./build/examples/configuration
+
+#include <cstdlib>
+#include <iostream>
+
+#include "classic/database.h"
+#include "host/standard_tests.h"
+
+namespace {
+
+classic::Database db;
+
+void Check(const classic::Status& st, const char* what) {
+  if (!st.ok()) {
+    std::cerr << what << ": " << st.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(classic::Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::cerr << what << ": " << r.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+void Show(const char* label, const std::vector<std::string>& names) {
+  std::cout << label << ": {";
+  for (size_t i = 0; i < names.size(); ++i)
+    std::cout << (i ? ", " : "") << names[i];
+  std::cout << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  Check(classic::host::RegisterStandardTests(&db.kb().vocab()),
+        "standard tests");
+
+  // --- Parts vocabulary -----------------------------------------------------
+  Check(db.DefineRole("has-board"), "role");
+  Check(db.DefineRole("has-disk"), "role");
+  Check(db.DefineRole("memory-mb"), "role");
+  Check(db.DefineRole("slots-used"), "role");
+  Check(db.DefineAttribute("cabinet"), "role");
+
+  Check(db.DefineConcept("PART", "(PRIMITIVE CLASSIC-THING part)"), "PART");
+  Check(db.DefineConcept("BOARD", "(PRIMITIVE PART board)"), "BOARD");
+  Check(db.DefineConcept("CPU-BOARD", "(PRIMITIVE BOARD cpu-board)"),
+        "CPU-BOARD");
+  Check(db.DefineConcept("MEMORY-BOARD", "(PRIMITIVE BOARD memory-board)"),
+        "MEMORY-BOARD");
+  Check(db.DefineConcept("DISK", "(PRIMITIVE PART disk)"), "DISK");
+  Check(db.DefineConcept("CABINET", "(PRIMITIVE PART cabinet)"), "CABINET");
+
+  // TEST concepts for capacity ranges (the paper's "integer ranges" use).
+  Check(db.RegisterTest("valid-memory",
+                        classic::host::IntegerRangeTest(4, 256)),
+        "test");
+  Check(db.RegisterTest("small-memory",
+                        classic::host::IntegerRangeTest(4, 16)),
+        "test");
+  Check(db.DefineConcept("VALID-MEMORY-SIZE",
+                         "(AND INTEGER (TEST valid-memory))"),
+        "VALID-MEMORY-SIZE");
+
+  // A valid base system: a cabinet, 1 CPU board, 1-4 boards total, all
+  // memory sizes in range.
+  Check(db.DefineConcept(
+            "SYSTEM",
+            "(AND (PRIMITIVE CLASSIC-THING system) (EXACTLY-ONE cabinet) "
+            "(ALL cabinet CABINET))"),
+        "SYSTEM");
+  Check(db.DefineConcept(
+            "CONFIGURED-SYSTEM",
+            "(AND SYSTEM (AT-LEAST 1 has-board) (AT-MOST 4 has-board) "
+            "(ALL has-board BOARD) "
+            "(ALL memory-mb VALID-MEMORY-SIZE) (AT-LEAST 1 memory-mb))"),
+        "CONFIGURED-SYSTEM");
+
+  // Sales rule: configured systems ship with at least one disk on order.
+  Check(db.DefineRole("ships-with"), "role");
+  Check(db.DefineConcept("SHIPPABLE",
+                         "(PRIMITIVE CLASSIC-THING shippable)"),
+        "SHIPPABLE");
+  Check(db.AssertRule("CONFIGURED-SYSTEM", "SHIPPABLE"), "rule");
+
+  // --- Inventory ---------------------------------------------------------------
+  Check(db.CreateIndividual("Cab-A", "CABINET"), "create");
+  Check(db.CreateIndividual("CPU-1", "CPU-BOARD"), "create");
+  Check(db.CreateIndividual("MEM-1", "MEMORY-BOARD"), "create");
+  Check(db.CreateIndividual("Disk-1", "DISK"), "create");
+
+  // --- Build a system incrementally ---------------------------------------------
+  Check(db.CreateIndividual("Sys-1", "SYSTEM"), "create Sys-1");
+  Check(db.AssertInd("Sys-1", "(FILLS cabinet Cab-A)"), "cabinet");
+  Check(db.AssertInd("Sys-1", "(FILLS has-board CPU-1 MEM-1)"), "boards");
+  Check(db.AssertInd("Sys-1", "(ALL has-board BOARD)"), "board typing");
+  Check(db.AssertInd("Sys-1", "(FILLS memory-mb 64)"), "memory");
+  Check(db.AssertInd("Sys-1", "(ALL memory-mb VALID-MEMORY-SIZE)"),
+        "memory validity");
+
+  Show("Configured systems (before closing has-board)",
+       Check(db.Ask("CONFIGURED-SYSTEM"), "ask"));
+  Check(db.AssertInd("Sys-1", "(AT-MOST 2 has-board)"), "bound boards");
+  Show("Configured systems (after bounding has-board)",
+       Check(db.Ask("CONFIGURED-SYSTEM"), "ask"));
+  Show("Shippable (derived by rule)", Check(db.Ask("SHIPPABLE"), "ask"));
+
+  // --- Integrity: invalid configurations are rejected ---------------------------
+  std::cout << "\nRejection demos:\n";
+  classic::Status bad1 = db.AssertInd("Sys-1", "(FILLS memory-mb 1024)");
+  std::cout << "  memory-mb 1024 (out of range): " << bad1.ToString()
+            << "\n";
+  classic::Status bad2 = db.AssertInd("Sys-1", "(FILLS has-board Disk-1)");
+  std::cout << "  disk plugged as board: " << bad2.ToString() << "\n";
+  Check(db.CreateIndividual("Cab-B", "CABINET"), "create");
+  classic::Status bad3 = db.AssertInd("Sys-1", "(FILLS cabinet Cab-B)");
+  std::cout << "  second cabinet: " << bad3.ToString() << "\n";
+
+  // --- Descriptive answer: what must any configured system look like? -----------
+  std::cout << "\nNecessary description of any CONFIGURED-SYSTEM's boards:\n  "
+            << Check(db.AskDescription(
+                         "(AND CONFIGURED-SYSTEM (ALL has-board ?:THING))"),
+                     "ask-description")
+            << "\n";
+
+  std::cout << "\nconfiguration: OK\n";
+  return 0;
+}

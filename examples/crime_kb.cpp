@@ -1,0 +1,174 @@
+// The paper's Section 4 worked example: a law-enforcement database of
+// crimes and criminals, built up incrementally under the open-world
+// assumption.
+//
+//   ./build/examples/crime_kb
+
+#include <cstdlib>
+#include <iostream>
+
+#include "classic/database.h"
+#include "classic/interpreter.h"
+
+namespace {
+
+classic::Database db;
+
+void Check(const classic::Status& st, const char* what) {
+  if (!st.ok()) {
+    std::cerr << what << ": " << st.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(classic::Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::cerr << what << ": " << r.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+void Show(const char* label, const std::vector<std::string>& names) {
+  std::cout << label << ": {";
+  for (size_t i = 0; i < names.size(); ++i)
+    std::cout << (i ? ", " : "") << names[i];
+  std::cout << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  // --- Schema --------------------------------------------------------------
+  Check(db.DefineAttribute("site"), "define-attribute site");
+  Check(db.DefineAttribute("domicile"), "define-attribute domicile");
+  Check(db.DefineRole("perpetrator"), "define-role");
+  Check(db.DefineRole("victim"), "define-role");
+  Check(db.DefineRole("typical-suspect"), "define-role");
+  Check(db.DefineRole("jobs"), "define-role");
+
+  Check(db.DefineConcept("PERSON", "(PRIMITIVE CLASSIC-THING person)"),
+        "PERSON");
+  Check(db.DefineConcept("ADULT", "(PRIMITIVE PERSON adult)"), "ADULT");
+
+  // "every crime would need to have at least one perpetrator, who is a
+  // person, some victim(s) (these need not be persons!), and a site"
+  Check(db.DefineConcept(
+            "CRIME",
+            "(PRIMITIVE (AND (AT-LEAST 1 perpetrator) "
+            "(ALL perpetrator PERSON) (AT-LEAST 1 victim) "
+            "(AT-LEAST 1 site) (AT-MOST 1 site)) crime)"),
+        "CRIME");
+
+  // "domestic crime might be defined as a crime perpetrated at the
+  // domicile of the (single) perpetrator"
+  Check(db.DefineConcept("DOMESTIC-CRIME",
+                         "(AND CRIME (AT-MOST 1 perpetrator) "
+                         "(SAME-AS (site) (perpetrator domicile)))"),
+        "DOMESTIC-CRIME");
+  std::cout << "It is inferrable that a DOMESTIC-CRIME has exactly one "
+               "perpetrator: "
+            << (Check(db.Subsumes("(EXACTLY-ONE perpetrator)",
+                                  "DOMESTIC-CRIME"),
+                      "subsumes")
+                    ? "yes"
+                    : "no")
+            << "\n";
+
+  // Heuristic rule: "domestic criminals are typically adults, and have no
+  // jobs".
+  Check(db.AssertRule("DOMESTIC-CRIME",
+                      "(ALL typical-suspect (AND ADULT (AT-MOST 0 jobs)))"),
+        "assert-rule");
+
+  // --- A new crime occurs ----------------------------------------------------
+  Check(db.CreateIndividual("crime23", "CRIME"), "create crime23");
+
+  // A witness saw a group of criminals leaving...
+  Check(db.AssertInd("crime23", "(AT-LEAST 2 perpetrator)"), "witness");
+
+  // ...speaking Ruritanian. The role is created on the fly: "it seems hard
+  // to anticipate all possible kinds of clues to crimes".
+  Check(db.DefineRole("heard-speaking"), "define-role on the fly");
+  Check(db.CreateIndividual("Ruritanian"), "create language");
+  Check(db.AssertInd("crime23",
+                     "(ALL perpetrator (ALL heard-speaking "
+                     "(ONE-OF Ruritanian)))"),
+        "clue");
+
+  // Identities are discovered; the ALL restriction propagates to them.
+  Check(db.CreateIndividual("Boris", "PERSON"), "create Boris");
+  Check(db.AssertInd("crime23", "(FILLS perpetrator Boris)"), "fills");
+  std::cout << "\nBoris (derived): "
+            << Check(db.DescribeIndividual("Boris"), "describe") << "\n";
+
+  // --- crime15: the domestic case ---------------------------------------------
+  Check(db.CreateIndividual("Wife", "PERSON"), "create Wife");
+  Check(db.CreateIndividual("TheHouse"), "create TheHouse");
+  Check(db.AssertInd("Wife", "(FILLS domicile TheHouse)"), "domicile");
+  Check(db.CreateIndividual("crime15", "CRIME"), "create crime15");
+  Check(db.CreateIndividual("Vase"), "create Vase");
+  Check(db.AssertInd("crime15", "(FILLS victim Vase)"), "victim");
+  Check(db.AssertInd("crime15", "(FILLS site TheHouse)"), "site");
+  Check(db.AssertInd("crime15", "(FILLS perpetrator Wife)"), "perp");
+
+  Show("\nDOMESTIC-CRIMEs before closing the perpetrator role",
+       Check(db.Ask("DOMESTIC-CRIME"), "ask"));
+  Check(db.AssertInd("crime15", "(CLOSE perpetrator)"), "close");
+  Show("DOMESTIC-CRIMEs after closing it",
+       Check(db.Ask("DOMESTIC-CRIME"), "ask"));
+
+  // Query: perpetrators of domestic crimes (?: marker).
+  Show("Perpetrators of domestic crimes",
+       Check(db.Ask("(AND DOMESTIC-CRIME (ALL perpetrator ?:THING))"),
+             "marked ask"));
+
+  // ask-description: what do we know about crime15's typical suspect?
+  std::cout << "\nask-description[(AND (ONE-OF crime15) "
+               "(ALL typical-suspect ?:PERSON))]:\n  "
+            << Check(db.AskDescription("(AND (ONE-OF crime15) "
+                                       "(ALL typical-suspect ?:PERSON))"),
+                     "ask-description")
+            << "\n";
+
+  // Open world: "did the wife or husband do it?" — a crime whose
+  // perpetrator is unknown is still a DOMESTIC-CRIME when asserted so.
+  Check(db.CreateIndividual("crime77", "CRIME"), "create crime77");
+  Check(db.CreateIndividual("SomeHouse"), "create");
+  Check(db.CreateIndividual("Window"), "create");
+  Check(db.AssertInd("crime77", "(FILLS victim Window)"), "victim");
+  Check(db.AssertInd("crime77", "(FILLS site SomeHouse)"), "site");
+  Check(db.AssertInd("crime77", "DOMESTIC-CRIME"), "assert domestic");
+  Show("\nAll DOMESTIC-CRIMEs (incl. unknown perpetrator)",
+       Check(db.Ask("DOMESTIC-CRIME"), "ask"));
+
+  // --- The announced query-language extension: conjunctive path queries ---
+  {
+    classic::Interpreter interp(&db);
+    auto rows = interp.ExecuteString(
+        "(select (?c ?p) (?c DOMESTIC-CRIME) (?c perpetrator ?p))");
+    if (rows.ok()) {
+      std::cout << "\n(select (?c ?p) (?c DOMESTIC-CRIME) "
+                   "(?c perpetrator ?p)) => "
+                << *rows << "\n";
+    }
+
+    // Characterize the current extension by description (the dual of
+    // ask-description: what the *known* domestic crimes have in common).
+    auto sum = interp.ExecuteString("(summarize DOMESTIC-CRIME)");
+    if (sum.ok()) {
+      std::cout << "Known DOMESTIC-CRIMEs have in common:\n  " << *sum
+                << "\n";
+    }
+
+    // And the audit trail: why is crime15 a DOMESTIC-CRIME?
+    auto why = interp.ExecuteString("(why crime15 DOMESTIC-CRIME)");
+    if (why.ok()) {
+      std::cout << "\nWhy is crime15 a DOMESTIC-CRIME?\n" << *why;
+    }
+  }
+
+  std::cout << "\ncrime_kb: OK\n";
+  return 0;
+}

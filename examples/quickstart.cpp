@@ -1,0 +1,139 @@
+// Quickstart: the paper's running example (Sections 2-3) end to end.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdlib>
+#include <iostream>
+
+#include "classic/database.h"
+
+namespace {
+
+void Check(const classic::Status& st, const char* what) {
+  if (!st.ok()) {
+    std::cerr << what << " failed: " << st.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(classic::Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::cerr << what << " failed: " << r.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+void Show(const std::vector<std::string>& names) {
+  std::cout << "{";
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::cout << (i ? ", " : "") << names[i];
+  }
+  std::cout << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  classic::Database db;
+
+  // --- Schema: roles and concepts (paper Section 3.1) ---------------------
+  Check(db.DefineRole("thing-driven"), "define-role");
+  Check(db.DefineRole("enrolled-at"), "define-role");
+  Check(db.DefineRole("maker"), "define-role");
+  Check(db.DefineRole("eat"), "define-role");
+
+  Check(db.DefineConcept("PERSON", "(PRIMITIVE CLASSIC-THING person)"),
+        "PERSON");
+  Check(db.DefineConcept("CAR", "(PRIMITIVE CLASSIC-THING car)"), "CAR");
+  Check(db.DefineConcept("EXPENSIVE-THING",
+                         "(PRIMITIVE CLASSIC-THING expensive)"),
+        "EXPENSIVE-THING");
+  Check(db.DefineConcept("SPORTS-CAR",
+                         "(PRIMITIVE (AND CAR EXPENSIVE-THING) sports-car)"),
+        "SPORTS-CAR");
+  Check(db.DefineConcept("ITALIAN-COMPANY",
+                         "(PRIMITIVE CLASSIC-THING italian-company)"),
+        "ITALIAN-COMPANY");
+  Check(db.DefineConcept("JUNK-FOOD", "(PRIMITIVE CLASSIC-THING junk-food)"),
+        "JUNK-FOOD");
+
+  // STUDENT is *defined*: a person enrolled somewhere. Membership is
+  // recognized, never asserted.
+  Check(db.DefineConcept("STUDENT",
+                         "(AND PERSON (AT-LEAST 1 enrolled-at))"),
+        "STUDENT");
+  Check(db.DefineConcept(
+            "RICH-KID",
+            "(AND STUDENT (ALL thing-driven SPORTS-CAR) "
+            "(AT-LEAST 2 thing-driven))"),
+        "RICH-KID");
+
+  std::cout << "IS-A parents of RICH-KID: ";
+  Show(Check(db.Parents("RICH-KID"), "parents"));
+
+  // --- Forward rule: students eat only junk food (Section 3.3) -----------
+  Check(db.AssertRule("STUDENT", "(ALL eat JUNK-FOOD)"), "assert-rule");
+
+  // --- Individuals, incrementally (Section 3.2) ---------------------------
+  Check(db.CreateIndividual("Rutgers"), "create-ind");
+  Check(db.CreateIndividual("Ferrari", "ITALIAN-COMPANY"), "create-ind");
+  Check(db.CreateIndividual("Volvo-17", "CAR"), "create-ind");
+  Check(db.CreateIndividual("Corvette-1", "SPORTS-CAR"), "create-ind");
+  Check(db.CreateIndividual("Rocky", "PERSON"), "create-ind");
+
+  std::cout << "\nBefore enrollment, STUDENTs: ";
+  Show(Check(db.Ask("STUDENT"), "ask"));
+
+  // The moment Rocky is enrolled, he is recognized as a STUDENT — and the
+  // junk-food rule fires.
+  Check(db.AssertInd("Rocky", "(FILLS enrolled-at Rutgers)"), "assert-ind");
+  std::cout << "After enrollment, STUDENTs:  ";
+  Show(Check(db.Ask("STUDENT"), "ask"));
+  std::cout << "Rocky now: " << Check(db.DescribeIndividual("Rocky"),
+                                      "describe")
+            << "\n";
+
+  // Partial information: Rocky drives things, all of them sports cars.
+  Check(db.AssertInd("Rocky", "(FILLS thing-driven Corvette-1)"),
+        "assert-ind");
+  Check(db.AssertInd("Rocky", "(ALL thing-driven SPORTS-CAR)"), "assert-ind");
+  Check(db.AssertInd("Rocky", "(AT-LEAST 2 thing-driven)"), "assert-ind");
+
+  std::cout << "\nRICH-KIDs (recognized, never asserted): ";
+  Show(Check(db.Ask("RICH-KID"), "ask"));
+
+  // --- Open world: three kinds of answers --------------------------------
+  std::cout << "\nKnown to drive a Volvo-17: ";
+  Show(Check(db.Ask("(FILLS thing-driven Volvo-17)"), "ask"));
+  std::cout << "Might drive a Volvo-17 (open world): ";
+  Show(Check(db.AskPossible("(FILLS thing-driven Volvo-17)"), "ask-possible"));
+
+  // Intensional answer: what do we know about everything Rocky eats?
+  std::cout << "\nNecessary description of what STUDENTs eat:\n  "
+            << Check(db.AskDescription("(AND STUDENT (ALL eat ?:THING))"),
+                     "ask-description")
+            << "\n";
+
+  // --- Integrity checking (Section 3.4) -----------------------------------
+  classic::Status bad =
+      db.AssertInd("Rocky", "(AT-MOST 0 thing-driven)");
+  std::cout << "\nAsserting (AT-MOST 0 thing-driven) of Rocky: "
+            << bad.ToString() << "\n";
+
+  // --- Subsumption is definitional (Section 2.2) --------------------------
+  std::cout << "\n(ALL r (AND A B)) == (AND (ALL r A) (ALL r B))? ";
+  Check(db.DefineRole("r"), "define-role");
+  Check(db.DefineConcept("A", "(PRIMITIVE CLASSIC-THING a)"), "A");
+  Check(db.DefineConcept("B", "(PRIMITIVE CLASSIC-THING b)"), "B");
+  bool eq = Check(db.Equivalent("(ALL r (AND A B))",
+                                "(AND (ALL r A) (ALL r B))"),
+                  "equivalent");
+  std::cout << (eq ? "yes" : "no") << "\n";
+
+  std::cout << "\nquickstart: OK\n";
+  return 0;
+}

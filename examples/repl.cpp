@@ -1,0 +1,114 @@
+// Interactive CLASSIC shell over the operator language.
+//
+//   ./build/examples/repl            # interactive
+//   ./build/examples/repl file.clq   # execute a program, then drop to REPL
+//
+// Example session:
+//   classic> (define-role enrolled-at)
+//   ok
+//   classic> (define-concept PERSON (PRIMITIVE CLASSIC-THING person))
+//   ok
+//   classic> (define-concept STUDENT (AND PERSON (AT-LEAST 1 enrolled-at)))
+//   ok
+//   classic> (create-ind Rocky PERSON)
+//   ok
+//   classic> (create-ind Rutgers)
+//   ok
+//   classic> (assert-ind Rocky (FILLS enrolled-at Rutgers))
+//   ok
+//   classic> (ask STUDENT)
+//   (Rocky)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "classic/interpreter.h"
+#include "host/standard_tests.h"
+
+namespace {
+
+/// Counts parenthesis balance so multi-line expressions work.
+int Balance(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == ';') break;  // comment
+    else if (c == '(') ++depth;
+    else if (c == ')') --depth;
+  }
+  return depth;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  classic::Database db;
+  classic::Interpreter interp(&db);
+  auto st = classic::host::RegisterStandardTests(&db.kb().vocab());
+  if (!st.ok()) {
+    std::cerr << "failed to register standard tests: " << st.ToString()
+              << "\n";
+    return 1;
+  }
+
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto r = interp.ExecuteProgram(buf.str());
+    if (!r.ok()) {
+      std::cerr << "error: " << r.status().ToString() << "\n";
+      return 1;
+    }
+    for (const auto& out : *r) std::cout << out << "\n";
+  }
+
+  std::cout << "CLASSIC shell — type operations, e.g. (define-role r); "
+               "Ctrl-D to exit.\n";
+  std::string pending;
+  int depth = 0;
+  while (true) {
+    std::cout << (pending.empty() ? "classic> " : "     ... ")
+              << std::flush;
+    std::string line;
+    if (!std::getline(std::cin, line)) break;
+    depth += Balance(line);
+    pending += line;
+    pending += '\n';
+    if (depth > 0) continue;  // expression not finished
+    depth = 0;
+    std::string input = pending;
+    pending.clear();
+    // Skip empty / comment-only input.
+    bool blank = true;
+    for (char c : input) {
+      if (c == ';') break;
+      if (!isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    auto r = interp.ExecuteString(input);
+    if (r.ok()) {
+      std::cout << *r << "\n";
+    } else {
+      std::cout << "error: " << r.status().ToString() << "\n";
+    }
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// The operator-language interpreter.
+//
+// One small language drives the whole database (the paper's "simple and
+// uniform interface": "the description of the entire interface is brief").
+// Each operation is an s-expression; the interpreter executes it against a
+// Database and renders the result as text. The same interpreter powers the
+// interactive REPL example, snapshot/log replay, and scripting in tests.
+//
+// Operations:
+//   (define-role r)                  (define-attribute a)
+//   (define-concept NAME <concept>)  (assert-rule NAME <concept>)
+//   (create-ind Name [<concept>])    (assert-ind Name <expr>)
+//   (retract-ind Name <expr>)
+//   (ask <query>)                    (ask-possible <query>)
+//   (ask-description <query>)
+//   (subsumes <c1> <c2>)             (equivalent <c1> <c2>)
+//   (coherent <c>)
+//   (instances NAME)                 (msc IndName)
+//   (describe IndName)               (fillers IndName role)
+//   (closed? IndName role)
+//   (parents NAME) (children NAME) (ancestors NAME) (descendants NAME)
+//   (concept-aspect NAME ASPECT [role])
+//   (ind-aspect IndName ASPECT role)
+//   (save-snapshot "path")           (load "path")
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classic/database.h"
+#include "sexpr/sexpr.h"
+#include "util/status.h"
+
+namespace classic {
+
+/// \brief Executes operator-language forms against a Database.
+class Interpreter {
+ public:
+  explicit Interpreter(Database* db) : db_(db) {}
+
+  /// \brief Executes one form; returns its printable result ("ok" for
+  /// updates).
+  Result<std::string> Execute(const sexpr::Value& op);
+
+  /// \brief Parses and executes one form from text.
+  Result<std::string> ExecuteString(const std::string& text);
+
+  /// \brief Executes every form in a program; stops at the first error.
+  /// Returns the outputs of all executed forms.
+  Result<std::vector<std::string>> ExecuteProgram(const std::string& text);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace classic

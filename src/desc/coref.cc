@@ -1,0 +1,160 @@
+#include "desc/coref.h"
+
+#include <algorithm>
+
+namespace classic {
+
+void CorefGraph::EnsureRoot() {
+  if (nodes_.empty()) nodes_.push_back({0, {}});
+}
+
+uint32_t CorefGraph::Find(uint32_t x) const {
+  while (nodes_[x].parent != x) x = nodes_[x].parent;
+  return x;
+}
+
+void CorefGraph::Union(uint32_t a, uint32_t b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return;
+  nodes_[b].parent = a;
+  // Congruence: merge b's edges into a, unifying successors for shared
+  // labels. Move the edge map out first; recursion may touch nodes_.
+  std::map<RoleId, uint32_t> b_edges = std::move(nodes_[b].edges);
+  nodes_[b].edges.clear();
+  for (const auto& [role, child] : b_edges) {
+    uint32_t rep = Find(a);
+    auto it = nodes_[rep].edges.find(role);
+    if (it != nodes_[rep].edges.end()) {
+      Union(it->second, child);
+    } else {
+      nodes_[rep].edges.emplace(role, child);
+    }
+  }
+}
+
+uint32_t CorefGraph::InsertPath(const RolePath& path) {
+  EnsureRoot();
+  uint32_t cur = Find(0);
+  for (RoleId role : path) {
+    cur = Find(cur);
+    auto it = nodes_[cur].edges.find(role);
+    if (it != nodes_[cur].edges.end()) {
+      cur = it->second;
+    } else {
+      uint32_t fresh = static_cast<uint32_t>(nodes_.size());
+      nodes_.push_back({fresh, {}});
+      nodes_[cur].edges.emplace(role, fresh);
+      cur = fresh;
+    }
+  }
+  return Find(cur);
+}
+
+void CorefGraph::Equate(const RolePath& path1, const RolePath& path2) {
+  for (const auto& p : pairs_) {
+    if ((p.first == path1 && p.second == path2) ||
+        (p.first == path2 && p.second == path1)) {
+      return;  // duplicate assertion
+    }
+  }
+  uint32_t a = InsertPath(path1);
+  uint32_t b = InsertPath(path2);
+  Union(a, b);
+  pairs_.emplace_back(path1, path2);
+}
+
+void CorefGraph::MergeFrom(const CorefGraph& other) {
+  for (const auto& [p, q] : other.pairs_) Equate(p, q);
+}
+
+bool CorefGraph::Entails(const RolePath& path1, const RolePath& path2) const {
+  if (path1 == path2) return true;
+  if (nodes_.empty()) return false;
+  // Walk both paths; when a step is missing in the graph, extend virtually
+  // via a memo keyed by (class-representative, role). Virtual ids start
+  // above the real node range.
+  std::map<std::pair<uint32_t, RoleId>, uint32_t> virtual_edges;
+  uint32_t next_virtual = static_cast<uint32_t>(nodes_.size());
+  auto walk = [&](const RolePath& path) {
+    uint32_t cur = Find(0);
+    for (RoleId role : path) {
+      if (cur < nodes_.size()) {
+        cur = Find(cur);
+        auto it = nodes_[cur].edges.find(role);
+        if (it != nodes_[cur].edges.end()) {
+          cur = Find(it->second);
+          continue;
+        }
+      }
+      auto key = std::make_pair(cur, role);
+      auto vit = virtual_edges.find(key);
+      if (vit != virtual_edges.end()) {
+        cur = vit->second;
+      } else {
+        cur = next_virtual++;
+        virtual_edges.emplace(key, cur);
+      }
+    }
+    return cur < nodes_.size() ? Find(cur) : cur;
+  };
+  return walk(path1) == walk(path2);
+}
+
+std::vector<std::vector<RolePath>> CorefGraph::CanonicalClasses() const {
+  // Collect every path mentioned in an asserted pair, plus all their
+  // prefixes that end in a shared class (prefixes matter only if merged
+  // with something else, which grouping handles naturally).
+  std::vector<RolePath> paths;
+  auto add = [&](const RolePath& p) {
+    if (std::find(paths.begin(), paths.end(), p) == paths.end())
+      paths.push_back(p);
+  };
+  for (const auto& [p, q] : pairs_) {
+    add(p);
+    add(q);
+  }
+  std::map<uint32_t, std::vector<RolePath>> by_class;
+  for (const auto& p : paths) {
+    // Non-mutating walk: every asserted path exists in the graph.
+    uint32_t cur = Find(0);
+    bool ok = true;
+    for (RoleId role : p) {
+      cur = Find(cur);
+      auto it = nodes_[cur].edges.find(role);
+      if (it == nodes_[cur].edges.end()) {
+        ok = false;
+        break;
+      }
+      cur = Find(it->second);
+    }
+    if (ok) by_class[cur].push_back(p);
+  }
+  std::vector<std::vector<RolePath>> out;
+  for (auto& [rep, cls] : by_class) {
+    (void)rep;
+    if (cls.size() < 2) continue;
+    std::sort(cls.begin(), cls.end());
+    out.push_back(std::move(cls));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool CorefGraph::EquivalentTo(const CorefGraph& other) const {
+  return CanonicalClasses() == other.CanonicalClasses();
+}
+
+size_t CorefGraph::Hash() const {
+  size_t h = 0x51ED270B;
+  for (const auto& cls : CanonicalClasses()) {
+    for (const auto& path : cls) {
+      for (RoleId r : path) h = h * 1099511628211ULL + r + 1;
+      h = h * 1099511628211ULL + 0xFE;
+    }
+    h = h * 1099511628211ULL + 0xFF;
+  }
+  return h;
+}
+
+}  // namespace classic

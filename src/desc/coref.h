@@ -1,0 +1,84 @@
+// Co-reference constraints (SAME-AS) via congruence closure.
+//
+// A SAME-AS constraint equates two chains of attributes (single-valued
+// roles): (SAME-AS (driver) (insurance payer)) says the object's driver is
+// the same individual as the payer of the object's insurance.
+//
+// We represent the induced equalities as a rooted graph whose nodes stand
+// for equivalence classes of attribute paths: node 0 is the described
+// object; an edge labelled r from class c leads to the class of p.r for
+// any path p in c. Because attributes are single-valued the edge function
+// is well-defined, and equating two classes must equate their
+// corresponding successors — congruence closure, as in Aït-Kaci's
+// term-structure work that the paper cites as inspiration.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "desc/ids.h"
+
+namespace classic {
+
+/// \brief Union-find congruence closure over attribute paths.
+///
+/// Cheap to copy when empty (the common case: most concepts have no
+/// SAME-AS constraints).
+class CorefGraph {
+ public:
+  CorefGraph() = default;
+
+  bool empty() const { return pairs_.empty(); }
+
+  /// \brief Adds the constraint path1 == path2. Paths must be non-empty
+  /// (the empty path would equate the object with itself, a no-op).
+  void Equate(const RolePath& path1, const RolePath& path2);
+
+  /// \brief Merges all constraints of `other` into this graph.
+  void MergeFrom(const CorefGraph& other);
+
+  /// \brief True if the closure entails path1 == path2 (without mutating
+  /// the graph; missing steps are extended virtually, so congruence
+  /// consequences like a==b |= a.r==b.r are recognized).
+  bool Entails(const RolePath& path1, const RolePath& path2) const;
+
+  /// \brief The asserted constraint pairs (deduplicated, insertion order).
+  const std::vector<std::pair<RolePath, RolePath>>& pairs() const {
+    return pairs_;
+  }
+
+  /// \brief Groups every path mentioned in the constraints by equivalence
+  /// class. Classes are sorted (by their smallest path) and each class's
+  /// paths are sorted; only classes with >= 2 paths are returned. Used for
+  /// canonical printing, hashing and filler propagation.
+  std::vector<std::vector<RolePath>> CanonicalClasses() const;
+
+  /// \brief Structural equality of the *closures* (same canonical
+  /// classes).
+  bool EquivalentTo(const CorefGraph& other) const;
+
+  size_t Hash() const;
+
+ private:
+  struct Node {
+    uint32_t parent;
+    std::map<RoleId, uint32_t> edges;
+  };
+
+  uint32_t Find(uint32_t x) const;
+  void Union(uint32_t a, uint32_t b);
+  /// Walks `path` from the root, creating nodes as needed.
+  uint32_t InsertPath(const RolePath& path);
+  void EnsureRoot();
+
+  // Nodes are mutable through const Find (path compression is skipped in
+  // const contexts for simplicity; graphs are tiny).
+  std::vector<Node> nodes_;
+  std::vector<std::pair<RolePath, RolePath>> pairs_;
+};
+
+}  // namespace classic

@@ -1,0 +1,217 @@
+#include "desc/description.h"
+
+#include "util/string_util.h"
+
+namespace classic {
+
+namespace {
+DescPtr Make(DescKind kind) {
+  struct Access : Description {
+    explicit Access(DescKind k) : Description(k) {}
+  };
+  return std::make_shared<Access>(kind);
+}
+
+Description* Mutable(const DescPtr& p) {
+  return const_cast<Description*>(p.get());
+}
+}  // namespace
+
+const char* BuiltinConceptName(BuiltinConcept b) {
+  switch (b) {
+    case BuiltinConcept::kInteger:
+      return "INTEGER";
+    case BuiltinConcept::kReal:
+      return "REAL";
+    case BuiltinConcept::kNumber:
+      return "NUMBER";
+    case BuiltinConcept::kString:
+      return "STRING";
+    case BuiltinConcept::kBoolean:
+      return "BOOLEAN";
+  }
+  return "?";
+}
+
+DescPtr Description::Thing() { return Make(DescKind::kThing); }
+DescPtr Description::Nothing() { return Make(DescKind::kNothing); }
+DescPtr Description::ClassicThing() { return Make(DescKind::kClassicThing); }
+DescPtr Description::HostThing() { return Make(DescKind::kHostThing); }
+
+DescPtr Description::Builtin(BuiltinConcept b) {
+  DescPtr p = Make(DescKind::kBuiltin);
+  Mutable(p)->builtin_ = b;
+  return p;
+}
+
+DescPtr Description::ConceptName(Symbol name) {
+  DescPtr p = Make(DescKind::kConceptName);
+  Mutable(p)->name_ = name;
+  return p;
+}
+
+DescPtr Description::Primitive(DescPtr parent, Symbol index) {
+  DescPtr p = Make(DescKind::kPrimitive);
+  Mutable(p)->child_ = std::move(parent);
+  Mutable(p)->name_ = index;
+  return p;
+}
+
+DescPtr Description::DisjointPrimitive(DescPtr parent, Symbol group,
+                                       Symbol index) {
+  DescPtr p = Make(DescKind::kDisjointPrimitive);
+  Mutable(p)->child_ = std::move(parent);
+  Mutable(p)->group_ = group;
+  Mutable(p)->name_ = index;
+  return p;
+}
+
+DescPtr Description::OneOf(std::vector<IndRef> members) {
+  DescPtr p = Make(DescKind::kOneOf);
+  Mutable(p)->members_ = std::move(members);
+  return p;
+}
+
+DescPtr Description::All(Symbol role, DescPtr restriction) {
+  DescPtr p = Make(DescKind::kAll);
+  Mutable(p)->role_ = role;
+  Mutable(p)->child_ = std::move(restriction);
+  return p;
+}
+
+DescPtr Description::AtLeast(uint32_t n, Symbol role) {
+  DescPtr p = Make(DescKind::kAtLeast);
+  Mutable(p)->bound_ = n;
+  Mutable(p)->role_ = role;
+  return p;
+}
+
+DescPtr Description::AtMost(uint32_t n, Symbol role) {
+  DescPtr p = Make(DescKind::kAtMost);
+  Mutable(p)->bound_ = n;
+  Mutable(p)->role_ = role;
+  return p;
+}
+
+DescPtr Description::SameAs(std::vector<Symbol> path1,
+                            std::vector<Symbol> path2) {
+  DescPtr p = Make(DescKind::kSameAs);
+  Mutable(p)->path1_ = std::move(path1);
+  Mutable(p)->path2_ = std::move(path2);
+  return p;
+}
+
+DescPtr Description::Fills(Symbol role, std::vector<IndRef> fillers) {
+  DescPtr p = Make(DescKind::kFills);
+  Mutable(p)->role_ = role;
+  Mutable(p)->members_ = std::move(fillers);
+  return p;
+}
+
+DescPtr Description::Close(Symbol role) {
+  DescPtr p = Make(DescKind::kClose);
+  Mutable(p)->role_ = role;
+  return p;
+}
+
+DescPtr Description::And(std::vector<DescPtr> conjuncts) {
+  DescPtr p = Make(DescKind::kAnd);
+  Mutable(p)->conjuncts_ = std::move(conjuncts);
+  return p;
+}
+
+DescPtr Description::Test(Symbol fn) {
+  DescPtr p = Make(DescKind::kTest);
+  Mutable(p)->name_ = fn;
+  return p;
+}
+
+size_t Description::TreeSize() const {
+  size_t n = 1;
+  if (child_) n += child_->TreeSize();
+  for (const auto& c : conjuncts_) n += c->TreeSize();
+  n += members_.size();
+  n += path1_.size() + path2_.size();
+  return n;
+}
+
+namespace {
+
+std::string IndRefToString(const IndRef& r, const SymbolTable& symbols) {
+  if (r.is_named()) return symbols.Name(r.name());
+  return r.host().ToString();
+}
+
+std::string PathToString(const std::vector<Symbol>& path,
+                         const SymbolTable& symbols) {
+  std::vector<std::string> parts;
+  parts.reserve(path.size());
+  for (Symbol s : path) parts.push_back(symbols.Name(s));
+  return "(" + Join(parts, " ") + ")";
+}
+
+}  // namespace
+
+std::string Description::ToString(const SymbolTable& symbols) const {
+  switch (kind_) {
+    case DescKind::kThing:
+      return "THING";
+    case DescKind::kNothing:
+      return "NOTHING";
+    case DescKind::kClassicThing:
+      return "CLASSIC-THING";
+    case DescKind::kHostThing:
+      return "HOST-THING";
+    case DescKind::kBuiltin:
+      return BuiltinConceptName(builtin_);
+    case DescKind::kConceptName:
+      return symbols.Name(name_);
+    case DescKind::kPrimitive:
+      return StrCat("(PRIMITIVE ", child_->ToString(symbols), " ",
+                    symbols.Name(name_), ")");
+    case DescKind::kDisjointPrimitive:
+      return StrCat("(DISJOINT-PRIMITIVE ", child_->ToString(symbols), " ",
+                    symbols.Name(group_), " ", symbols.Name(name_), ")");
+    case DescKind::kOneOf: {
+      std::string out = "(ONE-OF";
+      for (const auto& m : members_) {
+        out += ' ';
+        out += IndRefToString(m, symbols);
+      }
+      return out + ")";
+    }
+    case DescKind::kAll:
+      return StrCat("(ALL ", symbols.Name(role_), " ",
+                    child_->ToString(symbols), ")");
+    case DescKind::kAtLeast:
+      return StrCat("(AT-LEAST ", bound_, " ", symbols.Name(role_), ")");
+    case DescKind::kAtMost:
+      return StrCat("(AT-MOST ", bound_, " ", symbols.Name(role_), ")");
+    case DescKind::kSameAs:
+      return StrCat("(SAME-AS ", PathToString(path1_, symbols), " ",
+                    PathToString(path2_, symbols), ")");
+    case DescKind::kFills: {
+      std::string out = StrCat("(FILLS ", symbols.Name(role_));
+      for (const auto& m : members_) {
+        out += ' ';
+        out += IndRefToString(m, symbols);
+      }
+      return out + ")";
+    }
+    case DescKind::kClose:
+      return StrCat("(CLOSE ", symbols.Name(role_), ")");
+    case DescKind::kAnd: {
+      std::string out = "(AND";
+      for (const auto& c : conjuncts_) {
+        out += ' ';
+        out += c->ToString(symbols);
+      }
+      return out + ")";
+    }
+    case DescKind::kTest:
+      return StrCat("(TEST ", symbols.Name(name_), ")");
+  }
+  return "?";
+}
+
+}  // namespace classic

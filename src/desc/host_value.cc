@@ -1,0 +1,48 @@
+#include "desc/host_value.h"
+
+#include "util/string_util.h"
+
+namespace classic {
+
+std::string HostValue::ToString() const {
+  switch (type()) {
+    case HostType::kInteger:
+      return std::to_string(integer());
+    case HostType::kReal: {
+      std::string s = std::to_string(real());
+      size_t dot = s.find('.');
+      if (dot != std::string::npos) {
+        size_t last = s.find_last_not_of('0');
+        if (last == dot) last = dot + 1;
+        s.erase(last + 1);
+      }
+      return s;
+    }
+    case HostType::kString:
+      return "\"" + EscapeString(string()) + "\"";
+    case HostType::kBoolean:
+      return boolean() ? "#t" : "#f";
+  }
+  return "?";
+}
+
+size_t HostValue::Hash() const {
+  size_t h = static_cast<size_t>(type()) * 0x9E3779B97F4A7C15ULL;
+  switch (type()) {
+    case HostType::kInteger:
+      h ^= std::hash<int64_t>()(integer());
+      break;
+    case HostType::kReal:
+      h ^= std::hash<double>()(real());
+      break;
+    case HostType::kString:
+      h ^= std::hash<std::string>()(string());
+      break;
+    case HostType::kBoolean:
+      h ^= std::hash<bool>()(boolean());
+      break;
+  }
+  return h;
+}
+
+}  // namespace classic

@@ -1,0 +1,91 @@
+// Host individuals.
+//
+// The paper distinguishes two kinds of individuals (Section 3.2): regular
+// CLASSIC individuals, created by `create-ind` and described incrementally,
+// and *host individuals* — values of the host implementation language
+// (LISP/C in the paper, C++ here). Host individuals cannot have roles but
+// are otherwise first-class: they can fill roles and appear in ONE-OF
+// enumerations.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace classic {
+
+/// Kind tags for host values; the order defines the cross-type sort order
+/// used to canonicalize enumerations.
+enum class HostType {
+  kInteger = 0,
+  kReal = 1,
+  kString = 2,
+  kBoolean = 3,
+};
+
+/// \brief A host-language value usable as an individual.
+///
+/// Host values have *intrinsic* types that the normalizer exploits: an
+/// integer host value is intrinsically an instance of the built-in INTEGER
+/// (and NUMBER, HOST-THING) concepts, and intrinsically NOT an instance of
+/// STRING, of CLASSIC-THING, or of any user primitive.
+class HostValue {
+ public:
+  static HostValue Integer(int64_t v) { return HostValue(v); }
+  static HostValue Real(double v) { return HostValue(v); }
+  static HostValue String(std::string v) { return HostValue(std::move(v)); }
+  static HostValue Boolean(bool v) { return HostValue(v); }
+
+  HostType type() const {
+    switch (value_.index()) {
+      case 0:
+        return HostType::kInteger;
+      case 1:
+        return HostType::kReal;
+      case 2:
+        return HostType::kString;
+      default:
+        return HostType::kBoolean;
+    }
+  }
+
+  bool IsInteger() const { return type() == HostType::kInteger; }
+  bool IsReal() const { return type() == HostType::kReal; }
+  bool IsString() const { return type() == HostType::kString; }
+  bool IsBoolean() const { return type() == HostType::kBoolean; }
+  bool IsNumber() const { return IsInteger() || IsReal(); }
+
+  int64_t integer() const { return std::get<int64_t>(value_); }
+  double real() const { return std::get<double>(value_); }
+  const std::string& string() const { return std::get<std::string>(value_); }
+  bool boolean() const { return std::get<bool>(value_); }
+
+  /// \brief Numeric value as double (valid for integer/real).
+  double AsDouble() const {
+    return IsInteger() ? static_cast<double>(integer()) : real();
+  }
+
+  bool operator==(const HostValue& other) const {
+    return value_ == other.value_;
+  }
+  bool operator!=(const HostValue& other) const { return !(*this == other); }
+  bool operator<(const HostValue& other) const { return value_ < other.value_; }
+
+  /// \brief Concrete-syntax rendering (strings quoted, booleans as
+  /// #t / #f symbols).
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  explicit HostValue(int64_t v) : value_(v) {}
+  explicit HostValue(double v) : value_(v) {}
+  explicit HostValue(std::string v) : value_(std::move(v)) {}
+  explicit HostValue(bool v) : value_(v) {}
+
+  std::variant<int64_t, double, std::string, bool> value_;
+};
+
+}  // namespace classic

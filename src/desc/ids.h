@@ -1,0 +1,34 @@
+// Dense identifier types used throughout the description machinery.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace classic {
+
+/// Identifier of a declared role (binary relationship).
+using RoleId = uint32_t;
+
+/// Identifier of an individual (CLASSIC or host) in the Vocabulary.
+using IndId = uint32_t;
+
+/// Identifier of a primitive atom (PRIMITIVE / DISJOINT-PRIMITIVE index,
+/// or a built-in like CLASSIC-THING).
+using AtomId = uint32_t;
+
+/// Identifier of a named concept in the schema.
+using ConceptId = uint32_t;
+
+inline constexpr uint32_t kNoId = std::numeric_limits<uint32_t>::max();
+
+/// Unbounded upper cardinality ("no AT-MOST restriction").
+inline constexpr uint32_t kUnbounded = std::numeric_limits<uint32_t>::max();
+
+/// A chain of (single-valued) roles, e.g. `(insurance payer)` in
+/// `(SAME-AS (driver) (insurance payer))`. Paths are relative to the
+/// described object; the empty path denotes the object itself.
+using RolePath = std::vector<RoleId>;
+
+}  // namespace classic

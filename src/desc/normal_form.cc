@@ -1,0 +1,575 @@
+#include "desc/normal_form.h"
+
+#include <algorithm>
+
+#include "desc/description.h"
+#include "util/string_util.h"
+
+namespace classic {
+
+namespace {
+const RoleRestriction& TrivialRole() {
+  static const RoleRestriction kTrivial;
+  return kTrivial;
+}
+}  // namespace
+
+bool RoleRestriction::IsTrivial() const {
+  return at_least == 0 && at_most == kUnbounded &&
+         (value_restriction == nullptr || value_restriction->IsThing()) &&
+         fillers.empty() && !closed;
+}
+
+bool RoleRestriction::operator==(const RoleRestriction& other) const {
+  if (at_least != other.at_least || at_most != other.at_most ||
+      closed != other.closed || fillers != other.fillers) {
+    return false;
+  }
+  const bool a_thing =
+      value_restriction == nullptr || value_restriction->IsThing();
+  const bool b_thing =
+      other.value_restriction == nullptr || other.value_restriction->IsThing();
+  if (a_thing || b_thing) return a_thing == b_thing;
+  return value_restriction->Equals(*other.value_restriction);
+}
+
+const RoleRestriction& NormalForm::role(RoleId role) const {
+  auto it = roles_.find(role);
+  if (it == roles_.end()) return TrivialRole();
+  return it->second;
+}
+
+bool NormalForm::IsThing() const {
+  return !incoherent_ && atoms_.empty() && !enumeration_.has_value() &&
+         roles_.empty() && tests_.empty() && coref_.empty();
+}
+
+size_t NormalForm::Size() const {
+  size_t n = 1 + atoms_.size() + tests_.size();
+  if (enumeration_) n += enumeration_->size();
+  for (const auto& [role, rr] : roles_) {
+    (void)role;
+    n += 1 + rr.fillers.size();
+    if (rr.at_least > 0) ++n;
+    if (rr.at_most != kUnbounded) ++n;
+    if (rr.closed) ++n;
+    if (rr.value_restriction) n += rr.value_restriction->Size();
+  }
+  for (const auto& [p, q] : coref_.pairs()) n += p.size() + q.size();
+  return n;
+}
+
+bool NormalForm::Equals(const NormalForm& other) const {
+  if (incoherent_ != other.incoherent_) return false;
+  if (incoherent_) return true;  // all incoherent forms denote bottom
+  return atoms_ == other.atoms_ && enumeration_ == other.enumeration_ &&
+         tests_ == other.tests_ && roles_ == other.roles_ &&
+         coref_.EquivalentTo(other.coref_);
+}
+
+size_t NormalForm::Hash() const {
+  if (incoherent_) return 0xDEAD;
+  size_t h = 0x811C9DC5;
+  auto mix = [&h](size_t v) { h = (h ^ v) * 1099511628211ULL; };
+  for (AtomId a : atoms_) mix(a + 1);
+  mix(0xA);
+  if (enumeration_) {
+    for (IndId i : *enumeration_) mix(i + 1);
+    mix(0xE);
+  }
+  for (const auto& [role, rr] : roles_) {
+    mix(role + 1);
+    mix(rr.at_least);
+    mix(rr.at_most);
+    mix(rr.closed ? 7 : 3);
+    for (IndId f : rr.fillers) mix(f + 1);
+    if (rr.value_restriction && !rr.value_restriction->IsThing()) {
+      mix(rr.value_restriction->Hash());
+    }
+  }
+  for (Symbol t : tests_) mix(t + 1);
+  mix(coref_.Hash());
+  return h;
+}
+
+void NormalForm::MarkIncoherent(std::string reason) {
+  if (incoherent_) return;
+  incoherent_ = true;
+  incoherence_reason_ = std::move(reason);
+}
+
+void NormalForm::AddAtom(AtomId atom, const Vocabulary& vocab) {
+  auto insert_one = [&](AtomId a) {
+    if (atoms_.count(a) > 0) return;
+    for (AtomId existing : atoms_) {
+      if (vocab.AtomsDisjoint(existing, a)) {
+        MarkIncoherent(StrCat(
+            "disjoint primitives conflict: ",
+            vocab.symbols().Name(vocab.atom(existing).name), " vs ",
+            vocab.symbols().Name(vocab.atom(a).name)));
+        return;
+      }
+    }
+    atoms_.insert(a);
+  };
+  insert_one(atom);
+  for (AtomId implied : vocab.atom(atom).implies) insert_one(implied);
+}
+
+void NormalForm::IntersectEnumeration(const std::set<IndId>& members) {
+  if (!enumeration_) {
+    enumeration_ = members;
+    return;
+  }
+  std::set<IndId> out;
+  std::set_intersection(enumeration_->begin(), enumeration_->end(),
+                        members.begin(), members.end(),
+                        std::inserter(out, out.begin()));
+  *enumeration_ = std::move(out);
+}
+
+RoleRestriction* NormalForm::MutableRole(RoleId role, const Vocabulary& vocab) {
+  auto [it, inserted] = roles_.try_emplace(role);
+  if (inserted && vocab.role(role).attribute) {
+    it->second.at_most = 1;
+  }
+  return &it->second;
+}
+
+void NormalForm::AddTest(Symbol fn) { tests_.insert(fn); }
+
+void NormalForm::Tighten(const Vocabulary& vocab) {
+  // Each pass only moves monotonically (bounds tighten, sets grow/shrink
+  // one way), so the fixed point is reached quickly; iteration count is
+  // bounded by the total number of constraints.
+  while (TightenOnce(vocab)) {
+    if (incoherent_) break;
+  }
+  if (!incoherent_) {
+    // Drop records that constrain nothing, for canonicality. For
+    // attributes, the implicit AT-MOST 1 clamp alone is not a constraint
+    // (every attribute is single-valued by declaration).
+    for (auto it = roles_.begin(); it != roles_.end();) {
+      const RoleRestriction& rr = it->second;
+      bool trivial = rr.IsTrivial();
+      if (!trivial && vocab.role(it->first).attribute) {
+        trivial = rr.at_least == 0 && rr.at_most == 1 && !rr.closed &&
+                  rr.fillers.empty() &&
+                  (rr.value_restriction == nullptr ||
+                   rr.value_restriction->IsThing());
+      }
+      if (trivial) {
+        it = roles_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+bool NormalForm::TightenOnce(const Vocabulary& vocab) {
+  if (incoherent_) return false;
+  bool changed = false;
+
+  // An enumeration implies every atom shared intrinsically by all its
+  // members: (ONE-OF 1 2) is an INTEGER (hence NUMBER, HOST-THING).
+  if (enumeration_ && !enumeration_->empty()) {
+    std::set<AtomId> shared;
+    bool first = true;
+    for (IndId i : *enumeration_) {
+      std::vector<AtomId> intr = vocab.IntrinsicAtoms(i);
+      std::set<AtomId> s(intr.begin(), intr.end());
+      if (first) {
+        shared = std::move(s);
+        first = false;
+      } else {
+        std::set<AtomId> keep;
+        std::set_intersection(shared.begin(), shared.end(), s.begin(),
+                              s.end(), std::inserter(keep, keep.begin()));
+        shared = std::move(keep);
+      }
+    }
+    for (AtomId a : shared) {
+      if (atoms_.count(a) == 0) {
+        AddAtom(a, vocab);
+        changed = true;
+        if (incoherent_) return true;
+      }
+    }
+  }
+
+  // Enumeration members must be intrinsically compatible with every atom.
+  if (enumeration_) {
+    for (auto it = enumeration_->begin(); it != enumeration_->end();) {
+      bool ok = true;
+      for (AtomId a : atoms_) {
+        if (!vocab.AtomCompatibleWithInd(a, *it)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        it = enumeration_->erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (enumeration_->empty()) {
+      MarkIncoherent("enumeration is empty");
+      return true;
+    }
+  }
+
+  for (auto& [role_id, rr] : roles_) {
+    const std::string& role_name =
+        vocab.symbols().Name(vocab.role(role_id).name);
+    // Attribute roles are single-valued by declaration.
+    if (vocab.role(role_id).attribute && rr.at_most > 1) {
+      rr.at_most = 1;
+      changed = true;
+    }
+    // A vacuous value restriction is represented as null.
+    if (rr.value_restriction && rr.value_restriction->IsThing()) {
+      rr.value_restriction = nullptr;
+      changed = true;
+    }
+    // An incoherent value restriction forbids any filler.
+    if (rr.value_restriction && rr.value_restriction->incoherent() &&
+        rr.at_most > 0) {
+      rr.at_most = 0;
+      changed = true;
+    }
+    // An enumerated value restriction bounds the number of distinct
+    // fillers (paper Section 2.2's ONE-OF/AT-MOST interaction).
+    if (rr.value_restriction && rr.value_restriction->enumeration()) {
+      uint32_t n =
+          static_cast<uint32_t>(rr.value_restriction->enumeration()->size());
+      if (rr.at_most > n) {
+        rr.at_most = n;
+        changed = true;
+      }
+    }
+    // Known fillers give a lower bound (unique-name assumption).
+    if (rr.fillers.size() > rr.at_least) {
+      rr.at_least = static_cast<uint32_t>(rr.fillers.size());
+      changed = true;
+    }
+    // A closed role's fillers are all of them.
+    if (rr.closed && rr.at_most > rr.fillers.size()) {
+      rr.at_most = static_cast<uint32_t>(rr.fillers.size());
+      changed = true;
+    }
+    // Cardinality consistency.
+    if (rr.at_least > rr.at_most) {
+      MarkIncoherent(StrCat("role ", role_name, ": at-least ", rr.at_least,
+                            " exceeds at-most ", rr.at_most));
+      return true;
+    }
+    // Reaching the upper bound closes the role (paper Section 3.3).
+    if (!rr.closed && rr.at_most != kUnbounded &&
+        rr.fillers.size() >= rr.at_most) {
+      rr.closed = true;
+      changed = true;
+    }
+    // When nothing can fill the role, the value restriction is vacuous.
+    if (rr.at_most == 0 && rr.value_restriction) {
+      rr.value_restriction = nullptr;
+      changed = true;
+    }
+    // Intrinsic checks of known fillers against the value restriction.
+    if (rr.value_restriction) {
+      const NormalForm& vr = *rr.value_restriction;
+      for (IndId f : rr.fillers) {
+        if (vr.enumeration() && vr.enumeration()->count(f) == 0) {
+          MarkIncoherent(StrCat("role ", role_name, ": filler ",
+                                vocab.IndividualName(f),
+                                " outside the enumerated value restriction"));
+          return true;
+        }
+        for (AtomId a : vr.atoms()) {
+          if (!vocab.AtomCompatibleWithInd(a, f)) {
+            MarkIncoherent(StrCat(
+                "role ", role_name, ": filler ", vocab.IndividualName(f),
+                " is intrinsically incompatible with the value restriction"));
+            return true;
+          }
+        }
+      }
+    }
+  }
+
+  // Co-referent length-1 paths denote the same individual, so their role
+  // records must agree: merge them (this yields the paper's deduction that
+  // (SAME-AS (likes) (thing-driven)) fills likes with Volvo-17).
+  if (!coref_.empty()) {
+    // Any role heading a co-reference path is single-valued here: the
+    // constraint speaks of "the" filler.
+    for (const auto& [p, q] : coref_.pairs()) {
+      for (RoleId head : {p[0], q[0]}) {
+        RoleRestriction* rr = MutableRole(head, vocab);
+        if (rr->at_most > 1) {
+          rr->at_most = 1;
+          changed = true;
+        }
+      }
+    }
+    for (const auto& cls : coref_.CanonicalClasses()) {
+      std::vector<RoleId> single;
+      for (const auto& path : cls) {
+        if (path.size() == 1) single.push_back(path[0]);
+      }
+      if (single.size() < 2) continue;
+      // Build the meet of all records in the class.
+      RoleRestriction merged;
+      merged.at_most = kUnbounded;
+      bool any = false;
+      for (RoleId r : single) {
+        auto it = roles_.find(r);
+        if (it == roles_.end()) continue;
+        any = true;
+        const RoleRestriction& rr = it->second;
+        merged.at_least = std::max(merged.at_least, rr.at_least);
+        merged.at_most = std::min(merged.at_most, rr.at_most);
+        merged.closed = merged.closed || rr.closed;
+        merged.fillers.insert(rr.fillers.begin(), rr.fillers.end());
+        if (rr.value_restriction) {
+          merged.value_restriction =
+              merged.value_restriction
+                  ? MeetNormalForms(*merged.value_restriction,
+                                    *rr.value_restriction, vocab)
+                  : rr.value_restriction;
+        }
+      }
+      if (!any) continue;
+      merged.at_most = std::min<uint32_t>(merged.at_most, 1);
+      for (RoleId r : single) {
+        RoleRestriction* rr = MutableRole(r, vocab);
+        if (!(*rr == merged)) {
+          *rr = merged;
+          changed = true;
+        }
+      }
+      if (merged.value_restriction && merged.value_restriction->incoherent()) {
+        MarkIncoherent("co-referent attributes have incompatible restrictions");
+        return true;
+      }
+    }
+  }
+
+  return changed;
+}
+
+const NormalForm& ThingNormalForm() {
+  static const NormalForm kThing;
+  return kThing;
+}
+
+NormalFormPtr ThingNormalFormPtr() {
+  static const NormalFormPtr kThing = std::make_shared<NormalForm>();
+  return kThing;
+}
+
+void MergeNormalFormInto(NormalForm* dst, const NormalForm& src,
+                         const Vocabulary& vocab) {
+  if (src.incoherent()) dst->MarkIncoherent(src.incoherence_reason());
+  for (AtomId atom : src.atoms()) dst->AddAtom(atom, vocab);
+  if (src.enumeration()) dst->IntersectEnumeration(*src.enumeration());
+  for (const auto& [role, rb] : src.roles()) {
+    RoleRestriction* rr = dst->MutableRole(role, vocab);
+    rr->at_least = std::max(rr->at_least, rb.at_least);
+    rr->at_most = std::min(rr->at_most, rb.at_most);
+    rr->closed = rr->closed || rb.closed;
+    rr->fillers.insert(rb.fillers.begin(), rb.fillers.end());
+    if (rb.value_restriction) {
+      rr->value_restriction =
+          rr->value_restriction
+              ? MeetNormalForms(*rr->value_restriction, *rb.value_restriction,
+                                vocab)
+              : rb.value_restriction;
+    }
+  }
+  for (Symbol t : src.tests()) dst->AddTest(t);
+  dst->mutable_coref()->MergeFrom(src.coref());
+}
+
+NormalFormPtr MeetNormalForms(const NormalForm& a, const NormalForm& b,
+                              const Vocabulary& vocab) {
+  auto out = std::make_shared<NormalForm>(a);
+  MergeNormalFormInto(out.get(), b, vocab);
+  out->Tighten(vocab);
+  return out;
+}
+
+NormalFormPtr JoinNormalForms(const NormalForm& a, const NormalForm& b,
+                              const Vocabulary& vocab) {
+  // Bottom is the unit of join.
+  if (a.incoherent()) return std::make_shared<const NormalForm>(b);
+  if (b.incoherent()) return std::make_shared<const NormalForm>(a);
+
+  auto out = std::make_shared<NormalForm>();
+
+  for (AtomId atom : a.atoms()) {
+    if (b.atoms().count(atom) > 0) out->AddAtom(atom, vocab);
+  }
+
+  if (a.enumeration() && b.enumeration()) {
+    std::set<IndId> both = *a.enumeration();
+    both.insert(b.enumeration()->begin(), b.enumeration()->end());
+    out->IntersectEnumeration(both);
+  }
+
+  for (Symbol t : a.tests()) {
+    if (b.tests().count(t) > 0) out->AddTest(t);
+  }
+
+  std::set<RoleId> roles;
+  for (const auto& [r, rr] : a.roles()) {
+    (void)rr;
+    roles.insert(r);
+  }
+  for (const auto& [r, rr] : b.roles()) {
+    (void)rr;
+    roles.insert(r);
+  }
+  for (RoleId r : roles) {
+    const RoleRestriction& ra = a.role(r);
+    const RoleRestriction& rb = b.role(r);
+    RoleRestriction joined;
+    joined.at_least = std::min(ra.at_least, rb.at_least);
+    joined.at_most = (ra.at_most == kUnbounded || rb.at_most == kUnbounded)
+                         ? kUnbounded
+                         : std::max(ra.at_most, rb.at_most);
+    std::set_intersection(ra.fillers.begin(), ra.fillers.end(),
+                          rb.fillers.begin(), rb.fillers.end(),
+                          std::inserter(joined.fillers,
+                                        joined.fillers.begin()));
+    joined.closed = false;  // completeness of one side says nothing joint
+    // A side with no possible fillers satisfies every (ALL r C)
+    // vacuously, so the join's restriction comes from the other side.
+    const bool a_vacuous = ra.at_most == 0;
+    const bool b_vacuous = rb.at_most == 0;
+    if (a_vacuous && !b_vacuous) {
+      joined.value_restriction = rb.value_restriction;
+    } else if (b_vacuous && !a_vacuous) {
+      joined.value_restriction = ra.value_restriction;
+    } else if (ra.value_restriction && rb.value_restriction) {
+      joined.value_restriction =
+          JoinNormalForms(*ra.value_restriction, *rb.value_restriction,
+                          vocab);
+    }
+    if (!joined.IsTrivial()) {
+      *out->MutableRole(r, vocab) = std::move(joined);
+    }
+  }
+
+  for (const auto& [p, q] : a.coref().pairs()) {
+    if (b.coref().Entails(p, q)) out->mutable_coref()->Equate(p, q);
+  }
+
+  out->Tighten(vocab);
+  return out;
+}
+
+// --- Rendering back to descriptions ---------------------------------------
+
+namespace {
+
+IndRef IndRefOf(const Vocabulary& vocab, IndId id) {
+  const IndInfo& info = vocab.individual(id);
+  if (info.kind == IndKind::kHost) return IndRef::Host(*info.host);
+  return IndRef::Named(info.name);
+}
+
+DescPtr AtomToDescription(const Vocabulary& vocab, AtomId a) {
+  if (a == vocab.classic_thing_atom()) return Description::ClassicThing();
+  if (a == vocab.host_thing_atom()) return Description::HostThing();
+  for (BuiltinConcept b :
+       {BuiltinConcept::kInteger, BuiltinConcept::kReal,
+        BuiltinConcept::kNumber, BuiltinConcept::kString,
+        BuiltinConcept::kBoolean}) {
+    if (vocab.builtin_atom(b) == a) return Description::Builtin(b);
+  }
+  const AtomInfo& info = vocab.atom(a);
+  if (info.group != kNoSymbol) {
+    return Description::DisjointPrimitive(Description::Thing(), info.group,
+                                          info.name);
+  }
+  return Description::Primitive(Description::Thing(), info.name);
+}
+
+}  // namespace
+
+DescPtr NormalForm::ToDescription(const Vocabulary& vocab) const {
+  if (incoherent_) {
+    return Description::Nothing();
+  }
+  std::vector<DescPtr> parts;
+
+  // Emit only non-implied atoms; implications re-derive the rest.
+  for (AtomId a : atoms_) {
+    bool implied = false;
+    for (AtomId b : atoms_) {
+      if (b == a) continue;
+      const auto& imp = vocab.atom(b).implies;
+      if (std::find(imp.begin(), imp.end(), a) != imp.end()) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) parts.push_back(AtomToDescription(vocab, a));
+  }
+
+  if (enumeration_) {
+    std::vector<IndRef> members;
+    for (IndId i : *enumeration_) members.push_back(IndRefOf(vocab, i));
+    parts.push_back(Description::OneOf(std::move(members)));
+  }
+
+  for (const auto& [role_id, rr] : roles_) {
+    Symbol role = vocab.role(role_id).name;
+    bool attribute = vocab.role(role_id).attribute;
+    if (rr.at_least > rr.fillers.size()) {
+      parts.push_back(Description::AtLeast(rr.at_least, role));
+    }
+    // Closure is always re-derivable from AT-MOST + FILLS (Tighten closes
+    // a role whose bound is reached), so CLOSE never needs printing — it
+    // is not a concept constructor.
+    if (rr.at_most != kUnbounded && !(attribute && rr.at_most == 1)) {
+      parts.push_back(Description::AtMost(rr.at_most, role));
+    }
+    if (!rr.fillers.empty()) {
+      std::vector<IndRef> fillers;
+      for (IndId f : rr.fillers) fillers.push_back(IndRefOf(vocab, f));
+      parts.push_back(Description::Fills(role, std::move(fillers)));
+    }
+    if (rr.value_restriction && !rr.value_restriction->IsThing()) {
+      parts.push_back(Description::All(
+          role, rr.value_restriction->ToDescription(vocab)));
+    }
+  }
+
+  for (Symbol t : tests_) parts.push_back(Description::Test(t));
+
+  for (const auto& cls : coref_.CanonicalClasses()) {
+    auto to_syms = [&](const RolePath& p) {
+      std::vector<Symbol> out;
+      for (RoleId r : p) out.push_back(vocab.role(r).name);
+      return out;
+    };
+    for (size_t i = 1; i < cls.size(); ++i) {
+      parts.push_back(
+          Description::SameAs(to_syms(cls[0]), to_syms(cls[i])));
+    }
+  }
+
+  if (parts.empty()) return Description::Thing();
+  if (parts.size() == 1) return parts[0];
+  return Description::And(std::move(parts));
+}
+
+std::string NormalForm::ToString(const Vocabulary& vocab) const {
+  return ToDescription(vocab)->ToString(vocab.symbols());
+}
+
+}  // namespace classic

@@ -1,0 +1,156 @@
+// Canonical normal form of CLASSIC descriptions.
+//
+// "All concepts in the schema are reduced to a normal form, and then are
+// compared to each other to establish the subsumption hierarchy" (paper,
+// Section 5). The normal form is a conjunction-free record:
+//
+//   - a set of primitive atoms (expanded with built-in implications),
+//   - an optional enumeration (from ONE-OF; intersected across conjuncts),
+//   - one restriction record per constrained role
+//     {at-least, at-most, value restriction, known fillers, closed flag},
+//   - a set of TEST function names,
+//   - a congruence-closed co-reference graph (from SAME-AS),
+//   - an incoherence flag (the implicit bottom concept).
+//
+// Individuals' derived state uses the same representation, which is what
+// lets one language serve as DDL, DML, query and answer language.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "desc/coref.h"
+#include "desc/ids.h"
+#include "desc/vocabulary.h"
+#include "util/intern.h"
+
+namespace classic {
+
+class NormalForm;
+using NormalFormPtr = std::shared_ptr<const NormalForm>;
+
+/// \brief The constraints a normal form places on one role.
+struct RoleRestriction {
+  /// Lower cardinality bound (AT-LEAST, or implied by known fillers).
+  uint32_t at_least = 0;
+  /// Upper cardinality bound (AT-MOST, or implied by closure / by an
+  /// enumerated value restriction). kUnbounded when unconstrained.
+  uint32_t at_most = kUnbounded;
+  /// Value restriction (ALL); null means THING (no restriction).
+  NormalFormPtr value_restriction;
+  /// Known fillers (FILLS). Distinct under the unique-name assumption.
+  std::set<IndId> fillers;
+  /// True when the filler set is complete (CLOSE, or deduced when
+  /// |fillers| reaches at_most).
+  bool closed = false;
+
+  /// \brief True if this record constrains nothing.
+  bool IsTrivial() const;
+
+  bool operator==(const RoleRestriction& other) const;
+};
+
+/// \brief A description in canonical normal form. Immutable once built
+/// (the Normalizer and the KB's propagation engine construct them through
+/// the Builder-style mutating interface, then freeze behind NormalFormPtr).
+class NormalForm {
+ public:
+  NormalForm() = default;
+
+  // --- Read interface ----------------------------------------------------
+
+  bool incoherent() const { return incoherent_; }
+  const std::string& incoherence_reason() const { return incoherence_reason_; }
+
+  const std::set<AtomId>& atoms() const { return atoms_; }
+  const std::optional<std::set<IndId>>& enumeration() const {
+    return enumeration_;
+  }
+  const std::map<RoleId, RoleRestriction>& roles() const { return roles_; }
+  const std::set<Symbol>& tests() const { return tests_; }
+  const CorefGraph& coref() const { return coref_; }
+
+  /// \brief Restriction record for `role` (a trivial record if absent).
+  const RoleRestriction& role(RoleId role) const;
+
+  /// \brief True if this is the vacuous description THING.
+  bool IsThing() const;
+
+  /// \brief Size measure: number of constraints, counting nested value
+  /// restrictions (the "size" in the paper's complexity claim).
+  size_t Size() const;
+
+  /// \brief Structural equality (same canonical constraints).
+  bool Equals(const NormalForm& other) const;
+  size_t Hash() const;
+
+  /// \brief Renders the normal form back into a Description (used for
+  /// descriptive answers, ask-description and concept-aspect output).
+  DescPtr ToDescription(const Vocabulary& vocab) const;
+
+  /// \brief Convenience: concrete-syntax string of ToDescription.
+  std::string ToString(const Vocabulary& vocab) const;
+
+  // --- Build interface (used by Normalizer / propagation engine) ---------
+
+  void MarkIncoherent(std::string reason);
+  /// Adds an atom together with its built-in implications; detects
+  /// disjointness conflicts against atoms already present.
+  void AddAtom(AtomId atom, const Vocabulary& vocab);
+  /// Intersects the enumeration with `members`.
+  void IntersectEnumeration(const std::set<IndId>& members);
+  RoleRestriction* MutableRole(RoleId role, const Vocabulary& vocab);
+  void AddTest(Symbol fn);
+  CorefGraph* mutable_coref() { return &coref_; }
+
+  /// \brief Re-establishes all derived invariants after mutation:
+  /// cardinality consistency, closure deductions, enumeration filtering,
+  /// coref-driven record merging and filler propagation, intrinsic filler
+  /// checks. Runs to a fixed point. Must be called before the form is
+  /// frozen.
+  void Tighten(const Vocabulary& vocab);
+
+ private:
+  /// One pass of invariant restoration; returns true if anything changed.
+  bool TightenOnce(const Vocabulary& vocab);
+
+  bool incoherent_ = false;
+  std::string incoherence_reason_;
+  std::set<AtomId> atoms_;
+  std::optional<std::set<IndId>> enumeration_;
+  std::map<RoleId, RoleRestriction> roles_;
+  std::set<Symbol> tests_;
+  CorefGraph coref_;
+};
+
+/// \brief The vacuous normal form (THING); shared singleton.
+const NormalForm& ThingNormalForm();
+NormalFormPtr ThingNormalFormPtr();
+
+/// \brief Conjunction of two normal forms, tightened.
+NormalFormPtr MeetNormalForms(const NormalForm& a, const NormalForm& b,
+                              const Vocabulary& vocab);
+
+/// \brief Adds all constraints of `src` to `dst` WITHOUT tightening; the
+/// caller tightens once after merging everything it wants.
+void MergeNormalFormInto(NormalForm* dst, const NormalForm& src,
+                         const Vocabulary& vocab);
+
+/// \brief Generalization (join / upper bound) of two normal forms: the
+/// most specific description this representation can state that subsumes
+/// both. Dual to MeetNormalForms: atoms and tests intersect, enumerations
+/// union, cardinality bounds widen, value restrictions join recursively,
+/// co-references survive only when entailed by both sides. Joining with
+/// bottom (an incoherent form) returns the other side.
+///
+/// Used to characterize answer sets by description (a least-common-
+/// subsumer over the answers' derived states).
+NormalFormPtr JoinNormalForms(const NormalForm& a, const NormalForm& b,
+                              const Vocabulary& vocab);
+
+}  // namespace classic

@@ -1,0 +1,88 @@
+// Normalization: descriptions -> canonical normal forms.
+//
+// The Normalizer resolves names against a Vocabulary (undefined concepts,
+// undeclared roles, unknown individuals and unregistered tests are
+// errors), folds AND-compositions into a single constraint record, and
+// runs NormalForm::Tighten to apply the derived-constraint rules of the
+// paper's Section 2.2.
+//
+// An incoherent result is NOT an error: it is the bottom concept (e.g.
+// `(AND (AT-LEAST 1 r) (AT-MOST 0 r))` normalizes to an incoherent form).
+// Whether incoherence is acceptable is the caller's decision — a schema
+// may define an unsatisfiable concept, while asserting one of an
+// individual is an integrity violation.
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "desc/description.h"
+#include "desc/normal_form.h"
+#include "desc/vocabulary.h"
+#include "util/status.h"
+
+namespace classic {
+
+/// \brief Hash-consing pool for normal forms.
+///
+/// Structurally equal forms are shared, making repeated normalization of
+/// similar value restrictions cheap. Measured by the E7 ablation bench.
+class NormalFormPool {
+ public:
+  /// \brief Returns a shared pointer to a pooled form equal to `nf`.
+  NormalFormPtr Intern(NormalForm nf);
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t size() const { return misses_; }
+
+ private:
+  std::unordered_map<size_t, std::vector<NormalFormPtr>> buckets_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+/// \brief Converts descriptions to normal forms against a Vocabulary.
+class Normalizer {
+ public:
+  struct Options {
+    /// Share structurally equal forms through a pool.
+    bool intern_forms = true;
+  };
+
+  explicit Normalizer(Vocabulary* vocab) : vocab_(vocab) {}
+  Normalizer(Vocabulary* vocab, Options options)
+      : vocab_(vocab), options_(options) {}
+
+  /// \brief Normalizes a concept expression (CLOSE is rejected).
+  Result<NormalFormPtr> NormalizeConcept(const DescPtr& desc);
+
+  /// \brief Normalizes an individual expression (CLOSE allowed).
+  Result<NormalFormPtr> NormalizeIndividualExpr(const DescPtr& desc);
+
+  /// \brief Conjunction of two already-normalized forms.
+  NormalFormPtr Meet(const NormalForm& a, const NormalForm& b);
+
+  /// \brief Freezes a mutable form (tightens, then interns if enabled).
+  NormalFormPtr Freeze(NormalForm nf);
+
+  const NormalFormPool& pool() const { return pool_; }
+  Vocabulary* vocab() { return vocab_; }
+
+ private:
+  Result<NormalFormPtr> NormalizeImpl(const DescPtr& desc, bool allow_close);
+
+  /// Adds the constraints of `d` to `nf` (recursing through AND and
+  /// resolving all names).
+  Status Apply(const Description& d, bool allow_close, NormalForm* nf);
+
+  Result<IndId> ResolveInd(const IndRef& ref);
+
+  Vocabulary* vocab_;
+  Options options_;
+  NormalFormPool pool_;
+};
+
+}  // namespace classic

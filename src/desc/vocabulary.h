@@ -1,0 +1,222 @@
+// The Vocabulary: the shared name spaces of a CLASSIC database.
+//
+// A CLASSIC schema is "an extended vocabulary of identifiers used in
+// descriptions" (Section 2). The Vocabulary owns:
+//
+//  - the symbol table,
+//  - declared roles (with the attribute / single-valued flag required for
+//    SAME-AS chains),
+//  - primitive atoms (the indices of PRIMITIVE / DISJOINT-PRIMITIVE plus
+//    the built-in atoms such as CLASSIC-THING and INTEGER, including their
+//    built-in implication and disjointness structure),
+//  - individuals, both regular CLASSIC individuals and interned host
+//    values,
+//  - named concepts with their cached normal forms,
+//  - registered TEST functions.
+//
+// The Vocabulary is purely terminological: assertional state about
+// individuals lives in kb::KnowledgeBase.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "desc/description.h"
+#include "desc/host_value.h"
+#include "desc/ids.h"
+#include "util/intern.h"
+#include "util/status.h"
+
+namespace classic {
+
+class NormalForm;
+using NormalFormPtr = std::shared_ptr<const NormalForm>;
+
+/// \brief Argument handed to a TEST function: the individual id plus its
+/// host value when it is a host individual (null for CLASSIC individuals).
+struct TestArg {
+  IndId ind = kNoId;
+  const HostValue* host = nullptr;
+};
+
+/// A registered host-language test function (paper Section 2.1.4).
+using TestFn = std::function<bool(const TestArg&)>;
+
+/// \brief Declared role metadata.
+struct RoleInfo {
+  Symbol name = kNoSymbol;
+  /// Attributes are single-valued roles (AT-MOST 1 enforced); only
+  /// attributes may appear in SAME-AS chains.
+  bool attribute = false;
+};
+
+/// \brief A primitive atom: one "unspecified differentia" marker.
+struct AtomInfo {
+  /// Display name (the primitive's index, or the built-in's name).
+  Symbol name = kNoSymbol;
+  /// Disjointness grouping; atoms sharing a group (!= kNoSymbol) with
+  /// different ids denote disjoint primitives.
+  Symbol group = kNoSymbol;
+  /// Atoms implied by this one (transitively closed), e.g. INTEGER implies
+  /// NUMBER and HOST-THING. Used to expand atom sets in normal forms.
+  std::vector<AtomId> implies;
+  /// True for the built-in atoms (which only apply intrinsically).
+  bool builtin = false;
+};
+
+/// Kind of an individual.
+enum class IndKind { kClassic, kHost };
+
+/// \brief Individual metadata (terminological part only).
+struct IndInfo {
+  IndKind kind = IndKind::kClassic;
+  /// Name symbol; kNoSymbol for anonymous / host individuals.
+  Symbol name = kNoSymbol;
+  /// Host value; only meaningful for kHost.
+  std::optional<HostValue> host;
+};
+
+/// \brief Named schema concept.
+struct ConceptInfo {
+  Symbol name = kNoSymbol;
+  /// The definition as written (for concept-aspect and printing).
+  DescPtr source;
+  /// Cached canonical normal form.
+  NormalFormPtr normal_form;
+};
+
+/// \brief All name spaces of one database. Not thread-safe.
+class Vocabulary {
+ public:
+  Vocabulary();
+
+  /// The symbol table is a logically-const interning cache: reading a
+  /// description may intern new names without changing database meaning.
+  SymbolTable& symbols() const { return symbols_; }
+
+  // --- Roles -------------------------------------------------------------
+
+  /// \brief Declares a role (paper: define-role). Fails with AlreadyExists
+  /// if the name is taken; redeclaring with identical attributes is OK.
+  Result<RoleId> DefineRole(std::string_view name, bool attribute = false);
+
+  /// \brief Returns the role id for `name`, or NotFound.
+  Result<RoleId> FindRole(Symbol name) const;
+
+  const RoleInfo& role(RoleId id) const { return roles_[id]; }
+  size_t num_roles() const { return roles_.size(); }
+
+  // --- Atoms -------------------------------------------------------------
+
+  /// \brief Interns the plain primitive atom with index `index`.
+  AtomId PrimitiveAtom(Symbol index);
+
+  /// \brief Interns the disjoint primitive atom (`group`, `index`).
+  ///
+  /// Atoms with equal group and different index are pairwise disjoint.
+  /// Interning the same index under two different groups is an error.
+  Result<AtomId> DisjointPrimitiveAtom(Symbol group, Symbol index);
+
+  const AtomInfo& atom(AtomId id) const { return atoms_[id]; }
+  size_t num_atoms() const { return atoms_.size(); }
+
+  /// Built-in atoms.
+  AtomId classic_thing_atom() const { return classic_thing_atom_; }
+  AtomId host_thing_atom() const { return host_thing_atom_; }
+  AtomId builtin_atom(BuiltinConcept b) const;
+
+  /// \brief True if two atoms are declared disjoint (same group, different
+  /// index).
+  bool AtomsDisjoint(AtomId a, AtomId b) const;
+
+  /// \brief True if atom `a` can apply to individual `i`.
+  ///
+  /// Built-in atoms are checked against the individual's intrinsic type.
+  /// User atoms can never apply to host individuals (host individuals
+  /// carry no assertions), and may apply to any CLASSIC individual.
+  bool AtomCompatibleWithInd(AtomId a, IndId i) const;
+
+  /// \brief Intrinsic atoms of an individual: {CLASSIC-THING} for regular
+  /// individuals; the built-in type chain for host values (e.g. an int64
+  /// yields {INTEGER, NUMBER, HOST-THING}).
+  std::vector<AtomId> IntrinsicAtoms(IndId i) const;
+
+  // --- Individuals -------------------------------------------------------
+
+  /// \brief Creates a named CLASSIC individual (paper: create-ind).
+  Result<IndId> CreateIndividual(std::string_view name);
+
+  /// \brief Creates an anonymous CLASSIC individual.
+  IndId CreateAnonymousIndividual();
+
+  /// \brief Interns a host value as an individual (idempotent).
+  IndId InternHostValue(const HostValue& v);
+
+  /// \brief Looks up a named individual.
+  Result<IndId> FindIndividual(Symbol name) const;
+
+  const IndInfo& individual(IndId id) const { return inds_[id]; }
+  size_t num_individuals() const { return inds_.size(); }
+
+  /// \brief Display string for an individual (its name, or its host value,
+  /// or an anonymous marker).
+  std::string IndividualName(IndId id) const;
+
+  // --- Named concepts ----------------------------------------------------
+
+  /// \brief Registers a named concept with its normal form.
+  Result<ConceptId> DefineConcept(Symbol name, DescPtr source,
+                                  NormalFormPtr nf);
+
+  Result<ConceptId> FindConcept(Symbol name) const;
+  bool HasConcept(Symbol name) const;
+
+  const ConceptInfo& concept_info(ConceptId id) const { return concepts_[id]; }
+  size_t num_concepts() const { return concepts_.size(); }
+
+  // --- Test functions ----------------------------------------------------
+
+  /// \brief Registers a host test function under `name`.
+  Result<Symbol> RegisterTest(std::string_view name, TestFn fn);
+
+  /// \brief Returns the test function registered under `name`.
+  Result<const TestFn*> FindTest(Symbol name) const;
+  bool HasTest(Symbol name) const { return tests_.count(name) > 0; }
+
+ private:
+  AtomId AddAtom(AtomInfo info);
+
+  mutable SymbolTable symbols_;
+
+  std::vector<RoleInfo> roles_;
+  std::map<Symbol, RoleId> role_by_name_;
+
+  std::vector<AtomInfo> atoms_;
+  std::map<Symbol, AtomId> plain_atom_by_index_;
+  std::map<std::pair<Symbol, Symbol>, AtomId> disjoint_atom_by_key_;
+  std::map<Symbol, Symbol> group_of_index_;
+
+  std::vector<IndInfo> inds_;
+  std::map<Symbol, IndId> ind_by_name_;
+  std::map<HostValue, IndId> host_ind_by_value_;
+
+  std::vector<ConceptInfo> concepts_;
+  std::map<Symbol, ConceptId> concept_by_name_;
+
+  std::map<Symbol, TestFn> tests_;
+
+  AtomId classic_thing_atom_ = kNoId;
+  AtomId host_thing_atom_ = kNoId;
+  AtomId integer_atom_ = kNoId;
+  AtomId real_atom_ = kNoId;
+  AtomId number_atom_ = kNoId;
+  AtomId string_atom_ = kNoId;
+  AtomId boolean_atom_ = kNoId;
+};
+
+}  // namespace classic

@@ -1,0 +1,73 @@
+#include "host/standard_tests.h"
+
+#include "util/string_util.h"
+
+namespace classic::host {
+
+namespace {
+
+bool IsInteger(const TestArg& arg) {
+  return arg.host != nullptr && arg.host->IsInteger();
+}
+bool IsNumber(const TestArg& arg) {
+  return arg.host != nullptr && arg.host->IsNumber();
+}
+bool IsString(const TestArg& arg) {
+  return arg.host != nullptr && arg.host->IsString();
+}
+
+}  // namespace
+
+Status RegisterStandardTests(Vocabulary* vocab) {
+  struct Entry {
+    const char* name;
+    TestFn fn;
+  };
+  const Entry entries[] = {
+      {"even",
+       [](const TestArg& a) { return IsInteger(a) && a.host->integer() % 2 == 0; }},
+      {"odd",
+       [](const TestArg& a) {
+         return IsInteger(a) && (a.host->integer() % 2 != 0);
+       }},
+      {"positive",
+       [](const TestArg& a) { return IsNumber(a) && a.host->AsDouble() > 0; }},
+      {"negative",
+       [](const TestArg& a) { return IsNumber(a) && a.host->AsDouble() < 0; }},
+      {"zero",
+       [](const TestArg& a) { return IsNumber(a) && a.host->AsDouble() == 0; }},
+      {"non-empty-string",
+       [](const TestArg& a) { return IsString(a) && !a.host->string().empty(); }},
+  };
+  for (const auto& e : entries) {
+    auto r = vocab->RegisterTest(e.name, e.fn);
+    if (!r.ok() && !r.status().IsAlreadyExists()) return r.status();
+  }
+  return Status::OK();
+}
+
+TestFn NumberRangeTest(double lo, double hi) {
+  return [lo, hi](const TestArg& a) {
+    return IsNumber(a) && a.host->AsDouble() >= lo && a.host->AsDouble() <= hi;
+  };
+}
+
+TestFn IntegerRangeTest(int64_t lo, int64_t hi) {
+  return [lo, hi](const TestArg& a) {
+    return IsInteger(a) && a.host->integer() >= lo && a.host->integer() <= hi;
+  };
+}
+
+TestFn StringMaxLengthTest(size_t max_len) {
+  return [max_len](const TestArg& a) {
+    return IsString(a) && a.host->string().size() <= max_len;
+  };
+}
+
+TestFn StringPrefixTest(std::string prefix) {
+  return [prefix = std::move(prefix)](const TestArg& a) {
+    return IsString(a) && StartsWith(a.host->string(), prefix);
+  };
+}
+
+}  // namespace classic::host

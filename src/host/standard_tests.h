@@ -1,0 +1,41 @@
+// Standard host test functions.
+//
+// The paper introduces TEST concepts as "a single simple facility for
+// defining such 'concepts' as integer ranges, limited-precision numbers,
+// limited-length strings" (Section 2.1.4). This module provides exactly
+// that library: a set of ready-made host predicates plus factories for
+// parameterized tests (ranges, string lengths, prefixes).
+//
+// Test functions see a TestArg; for CLASSIC individuals `host` is null, so
+// predicates over host values return false for them (a CLASSIC individual
+// is never an even integer).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "desc/vocabulary.h"
+#include "util/status.h"
+
+namespace classic::host {
+
+/// \brief Registers the standard predicates:
+///   even, odd, positive, negative, zero  (over integers / numbers)
+///   non-empty-string                      (over strings)
+/// Safe to call once per Vocabulary.
+Status RegisterStandardTests(Vocabulary* vocab);
+
+/// \brief Factory: a test true for numbers in [lo, hi].
+TestFn NumberRangeTest(double lo, double hi);
+
+/// \brief Factory: a test true for integers in [lo, hi].
+TestFn IntegerRangeTest(int64_t lo, int64_t hi);
+
+/// \brief Factory: a test true for strings of length at most `max_len`.
+TestFn StringMaxLengthTest(size_t max_len);
+
+/// \brief Factory: a test true for strings starting with `prefix`.
+TestFn StringPrefixTest(std::string prefix);
+
+}  // namespace classic::host

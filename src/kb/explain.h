@@ -1,0 +1,46 @@
+// Explanation of inferences.
+//
+// The deployed CLASSIC system grew an explanation facility (its deductions
+// had to be auditable by the configurators using it); this module provides
+// that capability for the two central judgments:
+//
+//   - why does (or doesn't) individual i satisfy concept C?
+//   - why does (or doesn't) concept A subsume concept B?
+//
+// Explanations mirror the structural checks one-for-one, so every leaf
+// corresponds to a concrete constraint: a missing primitive, a cardinality
+// bound not yet derivable, a filler outside a value restriction, an
+// unentailed co-reference, a TEST that returned false.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace classic {
+
+/// \brief One node of an explanation tree.
+struct Explanation {
+  /// Whether the judgment at this node holds.
+  bool holds = false;
+  /// Human-readable statement of the (sub-)judgment.
+  std::string summary;
+  /// Sub-judgments this one decomposes into.
+  std::vector<Explanation> parts;
+
+  /// \brief Renders as an indented tree with [ok]/[NO] markers.
+  std::string ToString(int indent = 0) const;
+};
+
+/// \brief Explains the open-world instance test `kb.Satisfies(ind, nf)`.
+Explanation ExplainSatisfies(const KnowledgeBase& kb, IndId ind,
+                             const NormalForm& nf);
+
+/// \brief Explains structural subsumption between two normal forms.
+Explanation ExplainSubsumes(const KnowledgeBase& kb,
+                            const NormalForm& general,
+                            const NormalForm& specific);
+
+}  // namespace classic

@@ -1,0 +1,697 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "subsume/subsume.h"
+#include "util/string_util.h"
+
+namespace classic {
+
+namespace {
+
+const std::set<IndId>& EmptyIndSet() {
+  static const std::set<IndId> kEmpty;
+  return kEmpty;
+}
+
+bool IsReservedConceptName(std::string_view name) {
+  static const char* kReserved[] = {"THING",  "CLASSIC-THING", "HOST-THING",
+                                    "INTEGER", "REAL",         "NUMBER",
+                                    "STRING",  "BOOLEAN",      "NOTHING"};
+  for (const char* r : kReserved) {
+    if (name == r) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The propagation engine. One engine instance runs one update to a fixed
+// point, journaling every touched structure so a detected inconsistency
+// rolls the whole update back (assert-ind is atomic).
+// ---------------------------------------------------------------------------
+
+class KbEngine {
+ public:
+  explicit KbEngine(KnowledgeBase* kb) : kb_(kb) {}
+
+  void Enqueue(IndId ind) {
+    if (queued_.insert(ind).second) worklist_.push_back(ind);
+  }
+
+  /// Merges extra knowledge into an individual's derived state.
+  Status MergeInto(IndId ind, const NormalForm& nf) {
+    IndividualState& st = Touch(ind);
+    NormalFormPtr merged = kb_->normalizer_.Meet(*st.derived, nf);
+    if (merged->incoherent()) {
+      return Status::Inconsistent(
+          StrCat("update would make ", kb_->vocab_.IndividualName(ind),
+                 " incoherent: ", merged->incoherence_reason()));
+    }
+    if (!merged->Equals(*st.derived)) {
+      st.derived = merged;
+      Enqueue(ind);
+      // Whoever references this individual may now recognize more.
+      auto it = kb_->referenced_by_.find(ind);
+      if (it != kb_->referenced_by_.end()) {
+        for (IndId host : it->second) Enqueue(host);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Run() {
+    while (!worklist_.empty()) {
+      IndId ind = worklist_.front();
+      worklist_.pop_front();
+      queued_.erase(ind);
+      CLASSIC_RETURN_NOT_OK(Step(ind));
+    }
+    return Status::OK();
+  }
+
+  void Rollback() {
+    for (auto& [ind, saved] : undo_) {
+      kb_->states_[ind] = std::move(saved);
+    }
+    for (const auto& [node, ind] : instance_inserts_) {
+      kb_->instances_[node].erase(ind);
+    }
+    for (const auto& [filler, host] : refs_added_) {
+      kb_->referenced_by_[filler].erase(host);
+    }
+    ++kb_->stats_.rejected_updates;
+  }
+
+ private:
+  IndividualState& Touch(IndId ind) {
+    IndividualState& st = kb_->StateRef(ind);
+    undo_.try_emplace(ind, st);
+    return st;
+  }
+
+  Status Step(IndId ind) {
+    ++kb_->stats_.propagation_steps;
+    if (!kb_->IsClassicIndividual(ind)) {
+      // Host individuals are immutable values: they are classified (they
+      // can belong to enumerated / TEST / built-in concepts) but carry no
+      // roles and never gain derived state, so rules do not apply.
+      Realize(ind);
+      return Status::OK();
+    }
+    CLASSIC_RETURN_NOT_OK(PropagateToFillers(ind));
+    CLASSIC_RETURN_NOT_OK(PropagateCoref(ind));
+    Realize(ind);
+    CLASSIC_RETURN_NOT_OK(FireRules(ind));
+    return Status::OK();
+  }
+
+  /// (ALL r C) applied to every known r-filler; host fillers are checked
+  /// (they carry complete intrinsic knowledge), CLASSIC fillers gain C.
+  Status PropagateToFillers(IndId ind) {
+    NormalFormPtr derived = kb_->StateRef(ind).derived;  // snapshot
+    for (const auto& [role, rr] : derived->roles()) {
+      for (IndId filler : rr.fillers) {
+        if (kb_->referenced_by_[filler].insert(ind).second) {
+          refs_added_.emplace_back(filler, ind);
+        }
+        if (!rr.value_restriction || rr.value_restriction->IsThing()) {
+          continue;
+        }
+        const NormalForm& vr = *rr.value_restriction;
+        if (kb_->IsClassicIndividual(filler)) {
+          Status st = MergeInto(filler, vr);
+          if (!st.ok()) {
+            return st.WithContext(
+                StrCat("propagating (ALL ",
+                       kb_->vocab_.symbols().Name(kb_->vocab_.role(role).name),
+                       " ...) from ", kb_->vocab_.IndividualName(ind)));
+          }
+        } else if (!kb_->Satisfies(filler, vr)) {
+          return Status::Inconsistent(
+              StrCat("host filler ", kb_->vocab_.IndividualName(filler),
+                     " of role ",
+                     kb_->vocab_.symbols().Name(kb_->vocab_.role(role).name),
+                     " on ", kb_->vocab_.IndividualName(ind),
+                     " violates the value restriction"));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// SAME-AS chains: when one path of a co-reference class resolves to a
+  /// value, the value is propagated into the other paths (deriving new
+  /// fillers); two distinct resolved values are a contradiction under the
+  /// unique-name assumption.
+  Status PropagateCoref(IndId ind) {
+    NormalFormPtr derived = kb_->StateRef(ind).derived;
+    if (derived->coref().empty()) return Status::OK();
+    for (const auto& cls : derived->coref().CanonicalClasses()) {
+      std::optional<IndId> value;
+      for (const auto& path : cls) {
+        std::optional<IndId> v = kb_->ResolvePath(ind, path);
+        if (!v) continue;
+        if (value && *value != *v) {
+          return Status::Inconsistent(
+              StrCat("co-reference conflict on ",
+                     kb_->vocab_.IndividualName(ind), ": paths resolve to ",
+                     kb_->vocab_.IndividualName(*value), " and ",
+                     kb_->vocab_.IndividualName(*v)));
+        }
+        value = v;
+      }
+      if (!value) continue;
+      // Fill the last step of every path whose prefix resolves.
+      for (const auto& path : cls) {
+        RolePath prefix(path.begin(), path.end() - 1);
+        std::optional<IndId> holder = kb_->ResolvePath(ind, prefix);
+        if (!holder) continue;
+        const RoleRestriction& rr =
+            kb_->StateRef(*holder).derived->role(path.back());
+        if (rr.fillers.count(*value) > 0) continue;
+        NormalForm fill;
+        fill.MutableRole(path.back(), kb_->vocab_)->fillers.insert(*value);
+        fill.Tighten(kb_->vocab_);
+        Status st = MergeInto(*holder, fill);
+        if (!st.ok()) return st.WithContext("propagating SAME-AS filler");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Recomputes the individual's position in the taxonomy (recognition):
+  /// top-down search, since the set of satisfied nodes is upward-closed.
+  void Realize(IndId ind) {
+    ++kb_->stats_.realizations;
+    const Taxonomy& tax = kb_->taxonomy_;
+    const std::set<NodeId>& already = kb_->StateRef(ind).subsumer_nodes;
+    std::set<NodeId> subs;
+    std::deque<NodeId> queue(tax.roots().begin(), tax.roots().end());
+    std::set<NodeId> seen(tax.roots().begin(), tax.roots().end());
+    while (!queue.empty()) {
+      NodeId node = queue.front();
+      queue.pop_front();
+      // Recognition is monotone ("every individual can move into a class
+      // at most once"), so previously recognized nodes need no re-test.
+      if (already.count(node) == 0 &&
+          !kb_->Satisfies(ind, *tax.NodeForm(node))) {
+        continue;
+      }
+      subs.insert(node);
+      for (NodeId child : tax.Children(node)) {
+        if (seen.insert(child).second) queue.push_back(child);
+      }
+    }
+    IndividualState& st = kb_->StateRef(ind);
+    // Monotonicity guard: recognition never retracts (paper Section 5).
+    subs.insert(st.subsumer_nodes.begin(), st.subsumer_nodes.end());
+    if (subs == st.subsumer_nodes) return;
+    Touch(ind);
+    IndividualState& stw = kb_->StateRef(ind);
+    for (NodeId node : subs) {
+      if (stw.subsumer_nodes.count(node) == 0) {
+        if (kb_->instances_[node].insert(ind).second) {
+          instance_inserts_.emplace_back(node, ind);
+        }
+      }
+    }
+    stw.subsumer_nodes = std::move(subs);
+    stw.msc.clear();
+    for (NodeId node : stw.subsumer_nodes) {
+      bool most_specific = true;
+      for (NodeId child : tax.Children(node)) {
+        if (stw.subsumer_nodes.count(child) > 0) {
+          most_specific = false;
+          break;
+        }
+      }
+      if (most_specific) stw.msc.insert(node);
+    }
+  }
+
+  /// Fires pending rules for every node the individual is recognized
+  /// under; each rule fires at most once per individual.
+  Status FireRules(IndId ind) {
+    // Snapshot: rule application can change subsumer_nodes (via Enqueue /
+    // later Realize), which re-runs Step anyway.
+    std::vector<size_t> pending;
+    {
+      const IndividualState& st = kb_->StateRef(ind);
+      for (NodeId node : st.subsumer_nodes) {
+        auto it = kb_->rules_on_node_.find(node);
+        if (it == kb_->rules_on_node_.end()) continue;
+        for (size_t idx : it->second) {
+          if (st.applied_rules.count(idx) == 0) pending.push_back(idx);
+        }
+      }
+    }
+    for (size_t idx : pending) {
+      Touch(ind).applied_rules.insert(idx);
+      ++kb_->stats_.rule_firings;
+      Status st = MergeInto(ind, *kb_->rules_[idx].consequent);
+      if (!st.ok()) {
+        return st.WithContext(StrCat(
+            "firing rule on ",
+            kb_->vocab_.symbols().Name(
+                kb_->vocab_.concept_info(kb_->rules_[idx].antecedent_concept)
+                    .name)));
+      }
+    }
+    return Status::OK();
+  }
+
+  KnowledgeBase* kb_;
+  std::deque<IndId> worklist_;
+  std::set<IndId> queued_;
+  std::map<IndId, IndividualState> undo_;
+  std::vector<std::pair<NodeId, IndId>> instance_inserts_;
+  std::vector<std::pair<IndId, IndId>> refs_added_;
+};
+
+// ---------------------------------------------------------------------------
+// KnowledgeBase
+// ---------------------------------------------------------------------------
+
+KnowledgeBase::KnowledgeBase() : normalizer_(&vocab_), taxonomy_(&vocab_) {}
+
+Result<RoleId> KnowledgeBase::DefineRole(std::string_view name,
+                                         bool attribute) {
+  return vocab_.DefineRole(name, attribute);
+}
+
+Result<ConceptId> KnowledgeBase::DefineConcept(std::string_view name,
+                                               DescPtr definition) {
+  if (IsReservedConceptName(name)) {
+    return Status::InvalidArgument(
+        StrCat(name, " is a reserved built-in name"));
+  }
+  Symbol sym = vocab_.symbols().Intern(name);
+  if (vocab_.HasConcept(sym)) {
+    return Status::AlreadyExists(StrCat("concept ", name, " already defined"));
+  }
+  CLASSIC_ASSIGN_OR_RETURN(NormalFormPtr nf,
+                           normalizer_.NormalizeConcept(definition));
+  CLASSIC_ASSIGN_OR_RETURN(ConceptId cid,
+                           vocab_.DefineConcept(sym, definition, nf));
+  CLASSIC_ASSIGN_OR_RETURN(NodeId node, taxonomy_.Insert(cid));
+
+  // A new named concept may recognize existing individuals. Any instance
+  // of the new node must already be an instance of every parent node
+  // (parents subsume it), so the intersection of the parents' extensions
+  // is a sound and complete seed set; only a root concept (no named
+  // parents) can match anyone, including host individuals (enumerated /
+  // TEST / built-in definitions).
+  std::vector<IndId> seeds;
+  if (taxonomy_.Synonyms(node).size() > 1) {
+    // Joined an existing node as a synonym: its extension is already
+    // maintained; nothing to reclassify.
+    return cid;
+  }
+  const auto& parents = taxonomy_.Parents(node);
+  if (parents.empty()) {
+    for (IndId i = 0; i < vocab_.num_individuals(); ++i) seeds.push_back(i);
+  } else {
+    NodeId smallest = *parents.begin();
+    for (NodeId p : parents) {
+      if (Instances(p).size() < Instances(smallest).size()) smallest = p;
+    }
+    for (IndId i : Instances(smallest)) {
+      bool in_all = true;
+      for (NodeId p : parents) {
+        if (p == smallest) continue;
+        if (Instances(p).count(i) == 0) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) seeds.push_back(i);
+    }
+  }
+  if (!seeds.empty()) {
+    Status st = Propagate(seeds);
+    if (!st.ok()) {
+      // Schema definition cannot make the ABox inconsistent (it only adds
+      // vocabulary); a failure here is an engine bug.
+      return Status::Internal(
+          StrCat("reclassification after define-concept failed: ",
+                 st.message()));
+    }
+  }
+  return cid;
+}
+
+Result<size_t> KnowledgeBase::AssertRule(std::string_view antecedent_name,
+                                         DescPtr consequent) {
+  Symbol sym = vocab_.symbols().Lookup(antecedent_name);
+  if (sym == kNoSymbol) {
+    return Status::NotFound(
+        StrCat("unknown antecedent concept: ", antecedent_name));
+  }
+  CLASSIC_ASSIGN_OR_RETURN(ConceptId cid, vocab_.FindConcept(sym));
+  CLASSIC_ASSIGN_OR_RETURN(NodeId node, taxonomy_.NodeOf(cid));
+  CLASSIC_ASSIGN_OR_RETURN(NormalFormPtr nf,
+                           normalizer_.NormalizeConcept(consequent));
+  if (nf->incoherent()) {
+    return Status::InvalidArgument(
+        "rule consequent is incoherent; the rule could never fire safely");
+  }
+  size_t idx = rules_.size();
+  rules_.push_back({node, cid, consequent, nf});
+  rules_on_node_[node].push_back(idx);
+
+  // Fire immediately for current instances (complete propagation).
+  std::vector<IndId> seeds(Instances(node).begin(), Instances(node).end());
+  if (!seeds.empty()) {
+    Status st = Propagate(seeds);
+    if (!st.ok()) {
+      rules_on_node_[node].pop_back();
+      rules_.pop_back();
+      return st.WithContext("rule rejected: firing it contradicts the DB");
+    }
+  }
+  return idx;
+}
+
+std::vector<size_t> KnowledgeBase::RulesOnNode(NodeId node) const {
+  auto it = rules_on_node_.find(node);
+  if (it == rules_on_node_.end()) return {};
+  return it->second;
+}
+
+Result<IndId> KnowledgeBase::CreateIndividual(std::string_view name) {
+  CLASSIC_ASSIGN_OR_RETURN(IndId ind, vocab_.CreateIndividual(name));
+  StateRef(ind);  // materialize with intrinsic knowledge
+  // Even a fresh individual may be recognized (e.g. by concepts with no
+  // requirements beyond CLASSIC-THING).
+  Status st = Propagate({ind});
+  if (!st.ok()) return Status::Internal(st.message());
+  return ind;
+}
+
+Result<IndId> KnowledgeBase::CreateIndividual(std::string_view name,
+                                              DescPtr initial) {
+  CLASSIC_ASSIGN_OR_RETURN(IndId ind, CreateIndividual(name));
+  CLASSIC_RETURN_NOT_OK(AssertInd(ind, std::move(initial)));
+  return ind;
+}
+
+Status KnowledgeBase::AssertInd(IndId ind, DescPtr expr) {
+  if (ind >= vocab_.num_individuals()) {
+    return Status::NotFound(StrCat("no such individual id: ", ind));
+  }
+  if (!IsClassicIndividual(ind)) {
+    return Status::InvalidArgument(
+        StrCat("host individual ", vocab_.IndividualName(ind),
+               " cannot be described (host individuals have no roles)"));
+  }
+  KbEngine engine(this);
+  Status st = ApplyIndividualExpr(&engine, ind, expr);
+  if (!st.ok()) {
+    engine.Rollback();
+    return st;
+  }
+  StateRef(ind).asserted.push_back(expr);
+  base_log_.emplace_back(ind, std::move(expr));
+  return Status::OK();
+}
+
+namespace {
+
+/// Separates CLOSE conjuncts from the descriptive part of an individual
+/// expression. CLOSE may appear at the top level or under AND only (the
+/// parser forbids it under ALL already, and normalization would reject
+/// it).
+void SplitClose(const DescPtr& expr, std::vector<DescPtr>* rest,
+                std::vector<Symbol>* close_roles) {
+  if (expr->kind() == DescKind::kClose) {
+    close_roles->push_back(expr->role());
+    return;
+  }
+  if (expr->kind() == DescKind::kAnd) {
+    for (const DescPtr& c : expr->conjuncts()) {
+      SplitClose(c, rest, close_roles);
+    }
+    return;
+  }
+  rest->push_back(expr);
+}
+
+}  // namespace
+
+Status KnowledgeBase::ApplyIndividualExpr(KbEngine* engine, IndId ind,
+                                          const DescPtr& expr) {
+  std::vector<DescPtr> rest;
+  std::vector<Symbol> close_roles;
+  SplitClose(expr, &rest, &close_roles);
+
+  const IndId inds_before = static_cast<IndId>(vocab_.num_individuals());
+
+  if (!rest.empty()) {
+    DescPtr descriptive =
+        rest.size() == 1 ? rest[0] : Description::And(rest);
+    CLASSIC_ASSIGN_OR_RETURN(
+        NormalFormPtr nf, normalizer_.NormalizeIndividualExpr(descriptive));
+    // Normalization may have interned fresh host values; classify them so
+    // the instance indexes stay complete.
+    for (IndId i = inds_before; i < vocab_.num_individuals(); ++i) {
+      engine->Enqueue(i);
+    }
+    if (nf->incoherent()) {
+      ++stats_.rejected_updates;
+      return Status::Inconsistent(
+          StrCat("asserted expression is itself incoherent: ",
+                 nf->incoherence_reason()));
+    }
+    CLASSIC_RETURN_NOT_OK(engine->MergeInto(ind, *nf));
+    // Let the descriptive part (and its deductions) settle before any
+    // closure fixes the extension.
+    CLASSIC_RETURN_NOT_OK(engine->Run());
+  }
+
+  for (Symbol role_name : close_roles) {
+    CLASSIC_ASSIGN_OR_RETURN(RoleId role, vocab_.FindRole(role_name));
+    NormalForm close_nf;
+    RoleRestriction* rr = close_nf.MutableRole(role, vocab_);
+    rr->closed = true;
+    rr->fillers = StateRef(ind).derived->role(role).fillers;
+    close_nf.Tighten(vocab_);
+    CLASSIC_RETURN_NOT_OK(engine->MergeInto(ind, close_nf));
+    CLASSIC_RETURN_NOT_OK(engine->Run());
+  }
+  return Status::OK();
+}
+
+Status KnowledgeBase::RetractInd(IndId ind, const DescPtr& expr) {
+  if (ind >= states_.size() || !IsClassicIndividual(ind)) {
+    return Status::NotFound("no assertions recorded for this individual");
+  }
+  IndividualState& st = states_[ind];
+  const std::string needle = expr->ToString(vocab_.symbols());
+  auto it = std::find_if(st.asserted.begin(), st.asserted.end(),
+                         [&](const DescPtr& d) {
+                           return d->ToString(vocab_.symbols()) == needle;
+                         });
+  if (it == st.asserted.end()) {
+    return Status::NotFound(
+        StrCat("expression was not asserted of ", vocab_.IndividualName(ind),
+               ": ", needle));
+  }
+  st.asserted.erase(it);
+  auto lit = std::find_if(base_log_.begin(), base_log_.end(),
+                          [&](const auto& entry) {
+                            return entry.first == ind &&
+                                   entry.second->ToString(vocab_.symbols()) ==
+                                       needle;
+                          });
+  if (lit != base_log_.end()) base_log_.erase(lit);
+  return RederiveAll();
+}
+
+Status KnowledgeBase::RederiveAll() {
+  // Keep base assertions; wipe all derivations, then replay the base log
+  // in its original global order (the interleaving matters for CLOSE,
+  // whose meaning is "the fillers known at that moment").
+  for (size_t i = 0; i < states_.size(); ++i) {
+    std::vector<DescPtr> asserted = std::move(states_[i].asserted);
+    states_[i] = IndividualState{};
+    states_[i].asserted = std::move(asserted);
+    states_[i].derived = IntrinsicForm(static_cast<IndId>(i));
+  }
+  instances_.clear();
+  referenced_by_.clear();
+
+  KbEngine engine(this);
+  // Individuals with no assertions still need realization.
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (IsClassicIndividual(static_cast<IndId>(i))) {
+      engine.Enqueue(static_cast<IndId>(i));
+    }
+  }
+  Status st = engine.Run();
+  for (const auto& [ind, expr] : base_log_) {
+    if (!st.ok()) break;
+    st = ApplyIndividualExpr(&engine, ind, expr);
+  }
+  if (!st.ok()) {
+    return Status::Internal(
+        StrCat("re-derivation became inconsistent: ", st.message()));
+  }
+  return Status::OK();
+}
+
+const IndividualState& KnowledgeBase::state(IndId ind) const {
+  return StateRef(ind);
+}
+
+bool KnowledgeBase::IsClassicIndividual(IndId ind) const {
+  return vocab_.individual(ind).kind == IndKind::kClassic;
+}
+
+const std::set<IndId>& KnowledgeBase::Instances(NodeId node) const {
+  auto it = instances_.find(node);
+  if (it == instances_.end()) return EmptyIndSet();
+  return it->second;
+}
+
+const std::set<IndId>& KnowledgeBase::Referencers(IndId ind) const {
+  auto it = referenced_by_.find(ind);
+  if (it == referenced_by_.end()) return EmptyIndSet();
+  return it->second;
+}
+
+std::vector<IndId> KnowledgeBase::AllClassicIndividuals() const {
+  std::vector<IndId> out;
+  for (IndId i = 0; i < vocab_.num_individuals(); ++i) {
+    if (IsClassicIndividual(i)) out.push_back(i);
+  }
+  return out;
+}
+
+NormalFormPtr KnowledgeBase::IntrinsicForm(IndId ind) const {
+  NormalForm nf;
+  for (AtomId a : vocab_.IntrinsicAtoms(ind)) nf.AddAtom(a, vocab_);
+  nf.Tighten(vocab_);
+  return std::make_shared<const NormalForm>(std::move(nf));
+}
+
+IndividualState& KnowledgeBase::StateRef(IndId ind) const {
+  while (states_.size() <= ind) {
+    IndId id = static_cast<IndId>(states_.size());
+    IndividualState st;
+    st.derived = IntrinsicForm(id);
+    states_.push_back(std::move(st));
+  }
+  return states_[ind];
+}
+
+std::optional<IndId> KnowledgeBase::ResolvePath(IndId start,
+                                                const RolePath& path) const {
+  IndId cur = start;
+  for (RoleId role : path) {
+    if (!IsClassicIndividual(cur)) return std::nullopt;
+    const RoleRestriction& rr = StateRef(cur).derived->role(role);
+    if (rr.fillers.size() != 1) return std::nullopt;
+    cur = *rr.fillers.begin();
+  }
+  return cur;
+}
+
+bool KnowledgeBase::Satisfies(IndId ind, const NormalForm& concept_nf) const {
+  std::set<std::pair<IndId, const NormalForm*>> guard;
+  return SatisfiesImpl(ind, concept_nf, &guard);
+}
+
+bool KnowledgeBase::SatisfiesImpl(
+    IndId ind, const NormalForm& nf,
+    std::set<std::pair<IndId, const NormalForm*>>* guard) const {
+  ++stats_.satisfies_checks;
+  if (nf.incoherent()) return false;
+  if (nf.IsThing()) return true;
+  auto key = std::make_pair(ind, &nf);
+  if (!guard->insert(key).second) {
+    // Cycle through the filler graph: only finitely derivable knowledge
+    // counts, so an in-progress goal is not yet proven.
+    return false;
+  }
+  struct GuardPop {
+    std::set<std::pair<IndId, const NormalForm*>>* g;
+    std::pair<IndId, const NormalForm*> k;
+    ~GuardPop() { g->erase(k); }
+  } pop{guard, key};
+
+  const NormalForm& derived = *StateRef(ind).derived;
+
+  if (!std::includes(derived.atoms().begin(), derived.atoms().end(),
+                     nf.atoms().begin(), nf.atoms().end())) {
+    return false;
+  }
+  if (nf.enumeration() && nf.enumeration()->count(ind) == 0) return false;
+
+  for (Symbol test : nf.tests()) {
+    if (derived.tests().count(test) > 0) continue;
+    auto fn = vocab_.FindTest(test);
+    if (!fn.ok()) return false;
+    TestArg arg;
+    arg.ind = ind;
+    const IndInfo& info = vocab_.individual(ind);
+    arg.host = info.host ? &*info.host : nullptr;
+    if (!(**fn)(arg)) return false;
+  }
+
+  for (const auto& [role, rc] : nf.roles()) {
+    const RoleRestriction& ri = derived.role(role);
+    // Attributes are single-valued by declaration even when the derived
+    // record is absent or unclamped.
+    uint32_t ri_at_most = ri.at_most;
+    if (vocab_.role(role).attribute) {
+      ri_at_most = std::min<uint32_t>(ri_at_most, 1);
+    }
+    if (ri.at_least < rc.at_least) return false;
+    if (ri_at_most > rc.at_most) return false;
+    if (rc.closed && !ri.closed) return false;
+    if (!std::includes(ri.fillers.begin(), ri.fillers.end(),
+                       rc.fillers.begin(), rc.fillers.end())) {
+      return false;
+    }
+    if (rc.value_restriction && !rc.value_restriction->IsThing() &&
+        ri.at_most > 0) {
+      const NormalForm& want = *rc.value_restriction;
+      bool ok = false;
+      if (ri.value_restriction && Subsumes(want, *ri.value_restriction)) {
+        ok = true;
+      } else if (ri.closed) {
+        ok = true;
+        for (IndId f : ri.fillers) {
+          if (!SatisfiesImpl(f, want, guard)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) return false;
+    }
+  }
+
+  for (const auto& [p, q] : nf.coref().pairs()) {
+    if (derived.coref().Entails(p, q)) continue;
+    // Extensional evidence: both chains resolve to the same individual.
+    std::optional<IndId> vp = ResolvePath(ind, p);
+    std::optional<IndId> vq = ResolvePath(ind, q);
+    if (!vp || !vq || *vp != *vq) return false;
+  }
+
+  return true;
+}
+
+Status KnowledgeBase::Propagate(const std::vector<IndId>& seeds) {
+  KbEngine engine(this);
+  for (IndId i : seeds) engine.Enqueue(i);
+  Status st = engine.Run();
+  if (!st.ok()) engine.Rollback();
+  return st;
+}
+
+}  // namespace classic

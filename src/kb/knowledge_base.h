@@ -1,0 +1,227 @@
+// The CLASSIC knowledge base: individuals under an open-world assumption,
+// with active deduction.
+//
+// This module implements Sections 3.2-3.4 of the paper:
+//
+//  - create-ind / assert-ind with FILLS, CLOSE and arbitrary concept
+//    expressions; information accumulates monotonically;
+//  - integrity checking: an update that contradicts earlier assertions is
+//    rejected atomically (nothing changes);
+//  - active deductions, run to a fixed point by a worklist engine:
+//      * instance recognition ("the moment we learn that Rocky is enrolled
+//        at some school we implicitly recognize Rocky as a STUDENT"),
+//      * propagation of ALL restrictions to known role fillers,
+//      * role closure from AT-MOST bounds,
+//      * filler derivation from SAME-AS co-reference chains,
+//      * forward-chaining rules (assert-rule), fired at most once per
+//        (rule, individual) pair;
+//  - cascade reclassification: when an individual's state changes, the
+//    individuals referencing it as a filler are re-examined;
+//  - retraction (the paper's announced "destructive updates"), realized by
+//    removing the base assertion and re-deriving the whole assertional
+//    state from the remaining base (derivations are never edited in
+//    place).
+//
+// Termination follows the paper's argument: every derived quantity moves
+// monotonically in a bounded lattice ("every individual can move into a
+// class at most once (since there is no 'removal')"), and each rule fires
+// at most once per individual.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "desc/normal_form.h"
+#include "desc/normalize.h"
+#include "desc/parser.h"
+#include "desc/vocabulary.h"
+#include "taxonomy/taxonomy.h"
+#include "util/status.h"
+
+namespace classic {
+
+class KbEngine;
+
+/// \brief A forward-chaining rule: "if an individual is a <antecedent>
+/// then it is also a <consequent>" (paper Section 3.3). Rules are
+/// triggers, not logical implications: they fire when an individual is
+/// *recognized* as an instance of the antecedent.
+struct Rule {
+  /// Taxonomy node of the named antecedent concept.
+  NodeId antecedent = 0;
+  /// Antecedent concept id (for printing / persistence).
+  ConceptId antecedent_concept = 0;
+  /// Consequent as written.
+  DescPtr consequent_source;
+  /// Consequent, normalized.
+  NormalFormPtr consequent;
+};
+
+/// \brief Assertional state of one CLASSIC individual.
+struct IndividualState {
+  /// Base assertions, as asserted (the replay log for retraction).
+  std::vector<DescPtr> asserted;
+  /// Everything currently derivable, as one normal form. Never null.
+  NormalFormPtr derived;
+  /// Every taxonomy node this individual is a recognized instance of.
+  std::set<NodeId> subsumer_nodes;
+  /// Most specific of the above ("the lowest concept(s) in the schema
+  /// whose description(s) it satisfies", Section 5).
+  std::set<NodeId> msc;
+  /// Rules already fired for this individual (indices into rules()).
+  std::set<size_t> applied_rules;
+};
+
+/// \brief Engine statistics, exposed for the benchmark harness.
+struct KbStats {
+  size_t propagation_steps = 0;
+  size_t rule_firings = 0;
+  size_t realizations = 0;
+  size_t satisfies_checks = 0;
+  size_t rejected_updates = 0;
+};
+
+/// \brief A CLASSIC database: schema + individuals + rules.
+///
+/// Single-writer; queries live in query/. Not thread-safe.
+class KnowledgeBase {
+ public:
+  KnowledgeBase();
+
+  Vocabulary& vocab() { return vocab_; }
+  const Vocabulary& vocab() const { return vocab_; }
+  Taxonomy& taxonomy() { return taxonomy_; }
+  const Taxonomy& taxonomy() const { return taxonomy_; }
+  /// The normalizer's only mutable state is its hash-consing pool, a
+  /// cache; normalizing a query never changes database meaning.
+  Normalizer& normalizer() const { return normalizer_; }
+  const KbStats& stats() const { return stats_; }
+
+  // --- Schema operations (DDL) -------------------------------------------
+
+  /// \brief define-role. Attributes are single-valued (usable in SAME-AS).
+  Result<RoleId> DefineRole(std::string_view name, bool attribute = false);
+
+  /// \brief define-concept: names a description, normalizes it and
+  /// classifies it into the taxonomy. Definitions may reference only
+  /// already-defined concepts, so the terminology is acyclic by
+  /// construction.
+  Result<ConceptId> DefineConcept(std::string_view name, DescPtr definition);
+
+  /// \brief assert-rule[antecedent-name, consequent]: adds a forward
+  /// rule and immediately fires it for all current instances.
+  Result<size_t> AssertRule(std::string_view antecedent_name,
+                            DescPtr consequent);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  /// Rules attached to a node.
+  std::vector<size_t> RulesOnNode(NodeId node) const;
+
+  // --- Individual operations (DML) ---------------------------------------
+
+  /// \brief create-ind[name]; knows nothing beyond being a THING
+  /// (a CLASSIC-THING, precisely).
+  Result<IndId> CreateIndividual(std::string_view name);
+
+  /// \brief create-ind[name, desc]: create and immediately assert.
+  Result<IndId> CreateIndividual(std::string_view name, DescPtr initial);
+
+  /// \brief assert-ind[ind, expr]: adds information about an individual.
+  ///
+  /// The expression may use FILLS, CLOSE and any concept constructor.
+  /// If the new information contradicts what is known (an integrity
+  /// violation), the call returns kInconsistent and the database is
+  /// unchanged.
+  Status AssertInd(IndId ind, DescPtr expr);
+
+  /// \brief Retracts a previously asserted expression (matched
+  /// structurally) and re-derives the database from the remaining base
+  /// assertions. The paper's announced "destructive update" facility.
+  Status RetractInd(IndId ind, const DescPtr& expr);
+
+  // --- Inspection ---------------------------------------------------------
+
+  const IndividualState& state(IndId ind) const;
+  bool IsClassicIndividual(IndId ind) const;
+
+  /// \brief All recognized instances of a taxonomy node (full extension,
+  /// maintained incrementally).
+  const std::set<IndId>& Instances(NodeId node) const;
+
+  /// \brief All CLASSIC individuals created so far.
+  std::vector<IndId> AllClassicIndividuals() const;
+
+  /// \brief Individuals that mention `ind` as a role filler (the reverse
+  /// filler index; used for cascade reclassification and reverse joins).
+  const std::set<IndId>& Referencers(IndId ind) const;
+
+  /// \brief True iff the individual's known state entails the concept.
+  ///
+  /// This is the open-world instance test: (ALL r C) holds only when it
+  /// was asserted (value restriction subsumed) or the role is closed and
+  /// every known filler satisfies C; (AT-LEAST n r) holds when enough
+  /// distinct fillers are known or a bound was asserted; TEST functions
+  /// are executed.
+  bool Satisfies(IndId ind, const NormalForm& concept_nf) const;
+
+  /// \brief Walks a chain of roles through unique known fillers; returns
+  /// the end individual if every step resolves.
+  std::optional<IndId> ResolvePath(IndId start, const RolePath& path) const;
+
+ private:
+  friend class KbEngine;
+
+  /// Recursive instance test with a cycle guard (individual graphs may be
+  /// cyclic; in-progress pairs conservatively fail, which keeps the test
+  /// sound for derivable knowledge).
+  bool SatisfiesImpl(IndId ind, const NormalForm& nf,
+                     std::set<std::pair<IndId, const NormalForm*>>* guard)
+      const;
+
+  /// Runs the propagation engine from `seeds` to a fixed point; rolls back
+  /// every touched individual on inconsistency.
+  Status Propagate(const std::vector<IndId>& seeds);
+
+  /// Re-derives everything from base assertions (retraction support).
+  Status RederiveAll();
+
+  /// Applies one asserted individual expression through `engine`. CLOSE
+  /// conjuncts are peeled off and applied against the state *after* the
+  /// descriptive part has propagated: closing a role fixes its extension
+  /// to the fillers known at that moment (Section 3.2).
+  Status ApplyIndividualExpr(KbEngine* engine, IndId ind,
+                             const DescPtr& expr);
+
+  /// Normal form of what an individual intrinsically is (CLASSIC-THING,
+  /// or the host type chain).
+  NormalFormPtr IntrinsicForm(IndId ind) const;
+
+  /// Returns the state record for `ind`, materializing records lazily
+  /// (normalization may intern new host individuals at any time).
+  IndividualState& StateRef(IndId ind) const;
+
+  Vocabulary vocab_;
+  mutable Normalizer normalizer_;
+  Taxonomy taxonomy_;
+
+  /// Indexed by IndId; lazily extended, hence mutable.
+  mutable std::vector<IndividualState> states_;
+  /// All accepted assertions in global order (replay preserves the
+  /// interleaving across individuals, which matters for CLOSE).
+  std::vector<std::pair<IndId, DescPtr>> base_log_;
+  std::map<NodeId, std::set<IndId>> instances_;
+  std::map<NodeId, std::vector<size_t>> rules_on_node_;
+  std::vector<Rule> rules_;
+  /// Reverse filler index: who mentions ind as a filler (cascade
+  /// reclassification).
+  std::map<IndId, std::set<IndId>> referenced_by_;
+
+  mutable KbStats stats_;
+};
+
+}  // namespace classic

@@ -1,0 +1,27 @@
+// Rendering the IS-A hierarchy.
+//
+// "the subsumption relationship induces an acyclic directed graph over
+// the space of named concepts — the (in)famous 'IS-A hierarchy'" (paper
+// Section 3.5.1). These helpers render that graph for humans: an
+// indented text tree (nodes with several parents appear under each, with
+// a back-reference marker) and a Graphviz DOT digraph. Instance counts
+// come from the knowledge base's incrementally-maintained extensions.
+
+#pragma once
+
+#include <string>
+
+#include "kb/knowledge_base.h"
+
+namespace classic {
+
+/// \brief Indented text rendering, THING at the root. Synonymous concepts
+/// print on one line; revisited multi-parent nodes print with "^" and are
+/// not expanded again.
+std::string RenderTaxonomyTree(const KnowledgeBase& kb,
+                               bool with_instance_counts = true);
+
+/// \brief Graphviz DOT rendering (edges point from parent to child).
+std::string RenderTaxonomyDot(const KnowledgeBase& kb);
+
+}  // namespace classic

@@ -1,0 +1,52 @@
+// Relational projection of a CLASSIC database.
+//
+// "Just consider each role as a binary relation, and every primitive
+// concept as a unary relation, and one has an ordinary relational database
+// (modulo the closed world assumption)" — paper, Section 3.5.2. This
+// module materializes that view: one binary relation per role (known
+// filler pairs) and one unary relation per named schema concept
+// (recognized instances). Because the source is open-world, the relations
+// list *known* facts only; the projection is what a conventional RDBMS
+// downstream of CLASSIC would see.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "util/status.h"
+
+namespace classic::relational {
+
+/// \brief One role as a binary relation over individual display names.
+struct BinaryRelation {
+  std::string role;
+  bool attribute = false;
+  /// (subject, filler) pairs, sorted.
+  std::vector<std::pair<std::string, std::string>> tuples;
+};
+
+/// \brief One named concept as a unary relation.
+struct UnaryRelation {
+  std::string concept_name;
+  /// Recognized instances, sorted by name.
+  std::vector<std::string> members;
+};
+
+/// \brief Full materialized view.
+struct RelationalView {
+  std::vector<BinaryRelation> roles;
+  std::vector<UnaryRelation> concepts;
+  size_t total_tuples() const;
+};
+
+/// \brief Projects the knowledge base into relations.
+RelationalView BuildRelationalView(const KnowledgeBase& kb);
+
+/// \brief Writes the view as CSV files (`role_<name>.csv`,
+/// `concept_<name>.csv`) under `directory`, which must exist.
+Status WriteCsv(const RelationalView& view, const std::string& directory);
+
+}  // namespace classic::relational

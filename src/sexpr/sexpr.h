@@ -1,0 +1,115 @@
+// S-expression values: the concrete syntax of CLASSIC.
+//
+// The paper writes every concept, individual expression, and database
+// operator in a prefix LISP-like notation, e.g.
+//
+//   (AND STUDENT (ALL thing-driven SPORTS-CAR) (AT-LEAST 2 thing-driven))
+//
+// This module provides the value type plus a reader and printer. Parsing of
+// s-expressions *into* descriptions lives in desc/parser.h; this layer is
+// purely syntactic.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace classic::sexpr {
+
+enum class Kind {
+  kSymbol,   // bare identifier: STUDENT, thing-driven, Rocky, ?:
+  kInteger,  // host integer literal: 42
+  kReal,     // host real literal: 3.14
+  kString,   // host string literal: "hello"
+  kList,     // parenthesized list
+};
+
+/// \brief One node of an s-expression tree.
+///
+/// Values are immutable after construction; lists own their children.
+class Value {
+ public:
+  static Value MakeSymbol(std::string name) {
+    Value v(Kind::kSymbol);
+    v.text_ = std::move(name);
+    return v;
+  }
+  static Value MakeInteger(int64_t i) {
+    Value v(Kind::kInteger);
+    v.int_ = i;
+    return v;
+  }
+  static Value MakeReal(double d) {
+    Value v(Kind::kReal);
+    v.real_ = d;
+    return v;
+  }
+  static Value MakeString(std::string s) {
+    Value v(Kind::kString);
+    v.text_ = std::move(s);
+    return v;
+  }
+  static Value MakeList(std::vector<Value> items) {
+    Value v(Kind::kList);
+    v.items_ = std::move(items);
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool IsSymbol() const { return kind_ == Kind::kSymbol; }
+  bool IsInteger() const { return kind_ == Kind::kInteger; }
+  bool IsReal() const { return kind_ == Kind::kReal; }
+  bool IsString() const { return kind_ == Kind::kString; }
+  bool IsList() const { return kind_ == Kind::kList; }
+
+  /// \brief Symbol name or string contents; valid for kSymbol / kString.
+  const std::string& text() const { return text_; }
+  int64_t integer() const { return int_; }
+  double real() const { return real_; }
+
+  /// \brief List elements; valid for kList.
+  const std::vector<Value>& items() const { return items_; }
+  size_t size() const { return items_.size(); }
+  const Value& at(size_t i) const { return items_[i]; }
+
+  /// \brief True if this is the symbol `name` (case-sensitive).
+  bool IsSymbolNamed(const std::string& name) const {
+    return IsSymbol() && text_ == name;
+  }
+
+  /// \brief True if this is a list whose first element is the symbol `head`.
+  bool HasHead(const std::string& head) const {
+    return IsList() && !items_.empty() && items_[0].IsSymbolNamed(head);
+  }
+
+  /// \brief Renders back to concrete syntax (single line).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  explicit Value(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string text_;
+  int64_t int_ = 0;
+  double real_ = 0.0;
+  std::vector<Value> items_;
+};
+
+/// \brief Parses a single s-expression from `input`.
+///
+/// The whole input must be consumed (trailing whitespace/comments allowed).
+Result<Value> Parse(const std::string& input);
+
+/// \brief Parses a sequence of s-expressions (a program / operation log).
+///
+/// Lines starting with `;` are comments. Returns all toplevel forms.
+Result<std::vector<Value>> ParseAll(const std::string& input);
+
+}  // namespace classic::sexpr

@@ -1,0 +1,64 @@
+#include "storage/log.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace classic::storage {
+
+Status OperationLog::Open(const std::string& path) {
+  if (out_.is_open()) Close();
+  out_.open(path, std::ios::out | std::ios::app);
+  if (!out_) {
+    return Status::IOError(StrCat("cannot open log file: ", path));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status OperationLog::Append(const sexpr::Value& op) {
+  return AppendLine(op.ToString());
+}
+
+Status OperationLog::AppendLine(const std::string& line) {
+  if (!out_.is_open()) {
+    return Status::IOError("operation log is not open");
+  }
+  out_ << line << '\n';
+  out_.flush();
+  if (!out_) {
+    return Status::IOError(StrCat("write to log failed: ", path_));
+  }
+  return Status::OK();
+}
+
+Status OperationLog::Truncate() {
+  if (!out_.is_open()) {
+    return Status::IOError("operation log is not open");
+  }
+  std::string path = path_;
+  out_.close();
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    return Status::IOError(StrCat("cannot truncate log file: ", path));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+void OperationLog::Close() {
+  if (out_.is_open()) out_.close();
+  path_.clear();
+}
+
+Result<std::vector<sexpr::Value>> ReadOperations(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError(StrCat("cannot open file: ", path));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return sexpr::ParseAll(buf.str());
+}
+
+}  // namespace classic::storage

@@ -1,0 +1,74 @@
+#include "subsume/subsume.h"
+
+#include <algorithm>
+
+namespace classic {
+
+namespace {
+
+/// True if every element of `a` is in `b`.
+template <typename Set>
+bool IsSubset(const Set& a, const Set& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool RoleSubsumes(const RoleRestriction& general,
+                  const RoleRestriction& specific) {
+  if (specific.at_least < general.at_least) return false;
+  if (specific.at_most > general.at_most) return false;
+  if (!IsSubset(general.fillers, specific.fillers)) return false;
+  if (general.closed && !specific.closed) return false;
+  if (general.value_restriction && !general.value_restriction->IsThing()) {
+    // Anything at all satisfies (ALL r C) when it can have no r-fillers.
+    if (specific.at_most > 0) {
+      const NormalForm& gvr = *general.value_restriction;
+      if (specific.value_restriction) {
+        if (!Subsumes(gvr, *specific.value_restriction)) return false;
+      } else {
+        // The specific side allows arbitrary fillers (THING).
+        if (!Subsumes(gvr, ThingNormalForm())) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Subsumes(const NormalForm& general, const NormalForm& specific) {
+  // Bottom is subsumed by everything; nothing else is subsumed by bottom.
+  if (specific.incoherent()) return true;
+  if (general.incoherent()) return false;
+
+  if (!IsSubset(general.atoms(), specific.atoms())) return false;
+
+  if (general.enumeration()) {
+    if (!specific.enumeration()) return false;
+    if (!IsSubset(*specific.enumeration(), *general.enumeration()))
+      return false;
+  }
+
+  if (!IsSubset(general.tests(), specific.tests())) return false;
+
+  for (const auto& [role, rg] : general.roles()) {
+    if (!RoleSubsumes(rg, specific.role(role))) return false;
+  }
+
+  for (const auto& [p, q] : general.coref().pairs()) {
+    if (!specific.coref().Entails(p, q)) return false;
+  }
+
+  return true;
+}
+
+bool Equivalent(const NormalForm& a, const NormalForm& b) {
+  return Subsumes(a, b) && Subsumes(b, a);
+}
+
+bool Disjoint(const NormalForm& a, const NormalForm& b,
+              const Vocabulary& vocab) {
+  if (a.incoherent() || b.incoherent()) return true;
+  return MeetNormalForms(a, b, vocab)->incoherent();
+}
+
+}  // namespace classic

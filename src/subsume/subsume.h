@@ -1,0 +1,29 @@
+// Structural subsumption: the core inference of CLASSIC.
+//
+// `Subsumes(A, B)` decides whether A subsumes B — "in every state any
+// individual satisfying B is necessarily also an instance of A" (paper,
+// Section 3.5.1). Both arguments are canonical normal forms, so the test
+// is a structural comparison whose cost is proportional to the product of
+// the two forms' sizes (the paper's Section 5 claim, measured by bench E1).
+//
+// Two concepts are equivalent iff they subsume each other.
+
+#pragma once
+
+#include "desc/normal_form.h"
+#include "desc/vocabulary.h"
+
+namespace classic {
+
+/// \brief True iff `general` subsumes `specific`.
+bool Subsumes(const NormalForm& general, const NormalForm& specific);
+
+/// \brief True iff the two forms denote the same class in every state.
+bool Equivalent(const NormalForm& a, const NormalForm& b);
+
+/// \brief True iff no individual can satisfy both descriptions
+/// (conservative: detected when their conjunction is incoherent).
+bool Disjoint(const NormalForm& a, const NormalForm& b,
+              const Vocabulary& vocab);
+
+}  // namespace classic

@@ -1,0 +1,255 @@
+#include "taxonomy/taxonomy.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "subsume/subsume.h"
+#include "util/string_util.h"
+
+namespace classic {
+
+namespace {
+
+/// Memoizing wrapper around one direction of subsumption for a single
+/// classification pass.
+class SubsumptionCache {
+ public:
+  SubsumptionCache(const std::vector<NormalFormPtr>& forms,
+                   const NormalForm& target)
+      : forms_(forms), target_(target) {}
+
+  /// node's form subsumes target?
+  bool NodeSubsumesTarget(NodeId node) {
+    auto [it, inserted] = up_.try_emplace(node, false);
+    if (inserted) {
+      ++tests_;
+      it->second = Subsumes(*forms_[node], target_);
+    }
+    return it->second;
+  }
+
+  /// target subsumes node's form?
+  bool TargetSubsumesNode(NodeId node) {
+    auto [it, inserted] = down_.try_emplace(node, false);
+    if (inserted) {
+      ++tests_;
+      it->second = Subsumes(target_, *forms_[node]);
+    }
+    return it->second;
+  }
+
+  size_t tests() const { return tests_; }
+
+ private:
+  const std::vector<NormalFormPtr>& forms_;
+  const NormalForm& target_;
+  std::map<NodeId, bool> up_;
+  std::map<NodeId, bool> down_;
+  size_t tests_ = 0;
+};
+
+}  // namespace
+
+Classification Taxonomy::Classify(const NormalForm& nf) const {
+  Classification out;
+  std::vector<NormalFormPtr> forms;
+  forms.reserve(nodes_.size());
+  for (const auto& n : nodes_) forms.push_back(n.nf);
+  SubsumptionCache cache(forms, nf);
+
+  // --- Phase 1: most-specific subsumers (top-down). The set of subsumers
+  // is upward-closed, so a node is worth visiting only through a subsuming
+  // parent chain.
+  std::set<NodeId> subsumers;
+  {
+    std::deque<NodeId> queue(roots_.begin(), roots_.end());
+    std::set<NodeId> seen(roots_.begin(), roots_.end());
+    while (!queue.empty()) {
+      NodeId node = queue.front();
+      queue.pop_front();
+      if (!cache.NodeSubsumesTarget(node)) continue;
+      subsumers.insert(node);
+      for (NodeId child : nodes_[node].children) {
+        if (seen.insert(child).second) queue.push_back(child);
+      }
+    }
+    for (NodeId node : subsumers) {
+      bool most_specific = true;
+      for (NodeId child : nodes_[node].children) {
+        if (subsumers.count(child) > 0) {
+          most_specific = false;
+          break;
+        }
+      }
+      if (most_specific) out.parents.push_back(node);
+    }
+    std::sort(out.parents.begin(), out.parents.end());
+  }
+
+  // Equivalence: a most-specific subsumer that the target also subsumes.
+  for (NodeId p : out.parents) {
+    if (cache.TargetSubsumesNode(p)) {
+      out.equivalent = p;
+      out.children.assign(nodes_[p].children.begin(),
+                          nodes_[p].children.end());
+      out.subsumption_tests = cache.tests();
+      return out;
+    }
+  }
+
+  // --- Phase 2: most-general subsumees (downward from the parents). Every
+  // subsumee is a descendant of all parents, so the search starts at the
+  // parents' children. A failing node's descendants may still pass, so
+  // failures recurse; successes stop (their descendants are subsumees but
+  // not most general).
+  std::set<NodeId> subsumees;
+  {
+    std::deque<NodeId> queue;
+    std::set<NodeId> seen;
+    if (out.parents.empty()) {
+      // The target sits directly under THING: every root is a candidate
+      // subsumee.
+      for (NodeId r : roots_) {
+        if (seen.insert(r).second) queue.push_back(r);
+      }
+    }
+    for (NodeId p : out.parents) {
+      for (NodeId c : nodes_[p].children) {
+        if (seen.insert(c).second) queue.push_back(c);
+      }
+    }
+    while (!queue.empty()) {
+      NodeId node = queue.front();
+      queue.pop_front();
+      if (cache.TargetSubsumesNode(node)) {
+        subsumees.insert(node);
+        continue;
+      }
+      for (NodeId child : nodes_[node].children) {
+        if (seen.insert(child).second) queue.push_back(child);
+      }
+    }
+    // Keep only nodes with no subsumed strict ancestor among the found
+    // set; because we stop descending at successes, found nodes are
+    // incomparable unless reachable by different paths — filter to be
+    // safe.
+    for (NodeId node : subsumees) {
+      bool most_general = true;
+      for (NodeId parent : nodes_[node].parents) {
+        if (subsumees.count(parent) > 0) {
+          most_general = false;
+          break;
+        }
+      }
+      if (most_general) out.children.push_back(node);
+    }
+    std::sort(out.children.begin(), out.children.end());
+  }
+
+  out.subsumption_tests = cache.tests();
+  return out;
+}
+
+Result<NodeId> Taxonomy::Insert(ConceptId cid) {
+  const ConceptInfo& info = vocab_->concept_info(cid);
+  if (info.normal_form == nullptr) {
+    return Status::Internal("concept registered without a normal form");
+  }
+  if (node_of_concept_.count(cid) > 0) {
+    return Status::AlreadyExists(
+        StrCat("concept already classified: ",
+               vocab_->symbols().Name(info.name)));
+  }
+
+  Classification cls = Classify(*info.normal_form);
+  total_insert_tests_ += cls.subsumption_tests;
+
+  if (cls.equivalent) {
+    NodeId node = *cls.equivalent;
+    nodes_[node].synonyms.push_back(cid);
+    node_of_concept_.emplace(cid, node);
+    return node;
+  }
+
+  NodeId node = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({{cid}, info.normal_form, {}, {}});
+  node_of_concept_.emplace(cid, node);
+
+  // Ancestor index: the new node's ancestors are its parents plus theirs;
+  // every (transitive) descendant gains the new node (the rest of their
+  // sets is unchanged — they already sat below the parents).
+  {
+    std::set<NodeId> anc;
+    for (NodeId p : cls.parents) {
+      anc.insert(p);
+      anc.insert(ancestor_sets_[p].begin(), ancestor_sets_[p].end());
+    }
+    ancestor_sets_.push_back(std::move(anc));
+    std::deque<NodeId> queue(cls.children.begin(), cls.children.end());
+    std::set<NodeId> seen(cls.children.begin(), cls.children.end());
+    while (!queue.empty()) {
+      NodeId d = queue.front();
+      queue.pop_front();
+      ancestor_sets_[d].insert(node);
+      for (NodeId c : nodes_[d].children) {
+        if (seen.insert(c).second) queue.push_back(c);
+      }
+    }
+  }
+
+  // Splice between parents and children: drop parent->child edges that the
+  // new node makes transitive.
+  for (NodeId p : cls.parents) {
+    for (NodeId c : cls.children) {
+      nodes_[p].children.erase(c);
+      nodes_[c].parents.erase(p);
+    }
+  }
+  for (NodeId p : cls.parents) {
+    nodes_[p].children.insert(node);
+    nodes_[node].parents.insert(p);
+  }
+  for (NodeId c : cls.children) {
+    nodes_[c].parents.insert(node);
+    nodes_[node].children.insert(c);
+    // The child may have been a root (no named parents); it no longer is.
+    roots_.erase(c);
+  }
+  if (cls.parents.empty()) roots_.insert(node);
+  return node;
+}
+
+Result<NodeId> Taxonomy::NodeOf(ConceptId cid) const {
+  auto it = node_of_concept_.find(cid);
+  if (it == node_of_concept_.end()) {
+    return Status::NotFound(
+        StrCat("concept not in taxonomy: ",
+               vocab_->symbols().Name(vocab_->concept_info(cid).name)));
+  }
+  return it->second;
+}
+
+std::vector<NodeId> Taxonomy::Ancestors(NodeId node) const {
+  return std::vector<NodeId>(ancestor_sets_[node].begin(),
+                             ancestor_sets_[node].end());
+}
+
+std::vector<NodeId> Taxonomy::Descendants(NodeId node) const {
+  std::set<NodeId> seen;
+  std::deque<NodeId> queue(nodes_[node].children.begin(),
+                           nodes_[node].children.end());
+  for (NodeId c : queue) seen.insert(c);
+  std::vector<NodeId> out;
+  while (!queue.empty()) {
+    NodeId n = queue.front();
+    queue.pop_front();
+    out.push_back(n);
+    for (NodeId c : nodes_[n].children) {
+      if (seen.insert(c).second) queue.push_back(c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace classic

@@ -1,0 +1,115 @@
+// The schema taxonomy: named concepts organized by subsumption.
+//
+// "All concepts in the schema are reduced to a normal form, and then are
+// compared to each other to establish the subsumption hierarchy" (paper,
+// Section 5). The subsumption relation induces an acyclic directed graph
+// over the space of named concepts — the IS-A hierarchy — which, crucially,
+// is *computed from the definitions* and not under user control.
+//
+// Nodes are equivalence classes: distinct names whose definitions are
+// mutually subsuming share one node (the paper's Section 2.2 observes that
+// several different expressions can denote the same class).
+//
+// Classification uses the standard two-phase search: a top-down sweep for
+// the most-specific subsumers (exploiting that the subsumer set is
+// upward-closed) followed by a downward sweep from those parents for the
+// most-general subsumees. The number of subsumption tests actually
+// performed is reported so benches E2/E3 can measure the pruning.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "desc/normal_form.h"
+#include "desc/vocabulary.h"
+#include "util/status.h"
+
+namespace classic {
+
+/// Identifier of a taxonomy node (an equivalence class of named concepts).
+using NodeId = uint32_t;
+
+/// \brief Result of classifying a normal form against the taxonomy.
+struct Classification {
+  /// Most specific named subsumers ("immediate parents").
+  std::vector<NodeId> parents;
+  /// Most general named subsumees ("immediate children").
+  std::vector<NodeId> children;
+  /// Node whose concepts are equivalent to the classified form, if any.
+  std::optional<NodeId> equivalent;
+  /// Number of subsumption tests performed (pruning statistic).
+  size_t subsumption_tests = 0;
+};
+
+/// \brief The IS-A DAG over named concepts.
+class Taxonomy {
+ public:
+  explicit Taxonomy(const Vocabulary* vocab) : vocab_(vocab) {}
+
+  /// \brief Inserts a named concept (already registered in the
+  /// Vocabulary). Returns the node it lives on — a fresh node, or an
+  /// existing one when the definition is equivalent to a known concept.
+  Result<NodeId> Insert(ConceptId cid);
+
+  /// \brief Classifies `nf` without inserting anything.
+  Classification Classify(const NormalForm& nf) const;
+
+  /// \brief Node carrying `concept`, or NotFound if never inserted.
+  Result<NodeId> NodeOf(ConceptId cid) const;
+
+  /// Concepts (synonyms) living on a node.
+  const std::vector<ConceptId>& Synonyms(NodeId node) const {
+    return nodes_[node].synonyms;
+  }
+  const NormalFormPtr& NodeForm(NodeId node) const { return nodes_[node].nf; }
+
+  const std::set<NodeId>& Parents(NodeId node) const {
+    return nodes_[node].parents;
+  }
+  const std::set<NodeId>& Children(NodeId node) const {
+    return nodes_[node].children;
+  }
+
+  /// \brief All (transitive) ancestors, excluding the node itself. Served
+  /// from an incrementally-maintained index (the paper cites ideas "for
+  /// efficiently maintaining information about the subsumption hierarchy
+  /// itself"), so this is O(|ancestors|), not a graph search.
+  std::vector<NodeId> Ancestors(NodeId node) const;
+
+  /// \brief O(log n) ancestor test from the same index.
+  bool IsAncestor(NodeId ancestor, NodeId node) const {
+    return ancestor_sets_[node].count(ancestor) > 0;
+  }
+
+  /// \brief All (transitive) descendants, excluding the node itself.
+  std::vector<NodeId> Descendants(NodeId node) const;
+
+  /// Nodes with no parents (children of the implicit THING root).
+  const std::set<NodeId>& roots() const { return roots_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Total subsumption tests performed by all Insert calls (bench E2).
+  size_t total_insert_tests() const { return total_insert_tests_; }
+
+ private:
+  struct Node {
+    std::vector<ConceptId> synonyms;
+    NormalFormPtr nf;
+    std::set<NodeId> parents;
+    std::set<NodeId> children;
+  };
+
+  const Vocabulary* vocab_;
+  std::vector<Node> nodes_;
+  /// ancestor_sets_[n] = every strict ancestor of n; maintained on insert.
+  std::vector<std::set<NodeId>> ancestor_sets_;
+  std::map<ConceptId, NodeId> node_of_concept_;
+  std::set<NodeId> roots_;
+  size_t total_insert_tests_ = 0;
+};
+
+}  // namespace classic

@@ -1,0 +1,27 @@
+#include "util/intern.h"
+
+#include <cassert>
+
+namespace classic {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Symbol SymbolTable::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return kNoSymbol;
+  return it->second;
+}
+
+const std::string& SymbolTable::Name(Symbol sym) const {
+  assert(Contains(sym));
+  return names_[sym];
+}
+
+}  // namespace classic

@@ -1,0 +1,53 @@
+// Symbol interning.
+//
+// CLASSIC expressions are term graphs over a vocabulary of concept names,
+// role names, individual names, primitive indices and test-function names.
+// Interning every identifier once gives the rest of the system cheap
+// integer identity comparison, which the normalization and subsumption
+// algorithms rely on heavily.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace classic {
+
+/// Dense integer id of an interned string. Ids are stable for the lifetime
+/// of the owning SymbolTable and start at 0.
+using Symbol = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr Symbol kNoSymbol = static_cast<Symbol>(-1);
+
+/// \brief Bidirectional string <-> dense-id map.
+///
+/// Not thread-safe; each Database owns one table guarded by the database's
+/// single-writer discipline.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// \brief Interns `name`, returning its stable id (existing or new).
+  Symbol Intern(std::string_view name);
+
+  /// \brief Returns the id of `name`, or kNoSymbol if never interned.
+  Symbol Lookup(std::string_view name) const;
+
+  /// \brief Returns the string for an id. `sym` must be valid.
+  const std::string& Name(Symbol sym) const;
+
+  /// \brief Returns true if `sym` is a valid id in this table.
+  bool Contains(Symbol sym) const { return sym < names_.size(); }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> ids_;
+};
+
+}  // namespace classic

@@ -1,0 +1,126 @@
+// Unit tests for the SAME-AS congruence-closure graph.
+
+#include <gtest/gtest.h>
+
+#include "desc/coref.h"
+
+namespace classic {
+namespace {
+
+TEST(CorefTest, EmptyGraphEntailsOnlyReflexivity) {
+  CorefGraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_TRUE(g.Entails({1}, {1}));
+  EXPECT_FALSE(g.Entails({1}, {2}));
+}
+
+TEST(CorefTest, DirectEquation) {
+  CorefGraph g;
+  g.Equate({1}, {2});
+  EXPECT_TRUE(g.Entails({1}, {2}));
+  EXPECT_TRUE(g.Entails({2}, {1}));
+  EXPECT_FALSE(g.Entails({1}, {3}));
+}
+
+TEST(CorefTest, ChainPaths) {
+  // (SAME-AS (driver) (insurance payer))
+  CorefGraph g;
+  g.Equate({1}, {2, 3});
+  EXPECT_TRUE(g.Entails({1}, {2, 3}));
+  EXPECT_FALSE(g.Entails({1}, {2}));
+  EXPECT_FALSE(g.Entails({1}, {3, 2}));
+}
+
+TEST(CorefTest, Transitivity) {
+  CorefGraph g;
+  g.Equate({1}, {2});
+  g.Equate({2}, {3});
+  EXPECT_TRUE(g.Entails({1}, {3}));
+}
+
+TEST(CorefTest, CongruenceOnSuffixes) {
+  // a == b entails a.r == b.r even though those paths were never inserted.
+  CorefGraph g;
+  g.Equate({1}, {2});
+  EXPECT_TRUE(g.Entails({1, 7}, {2, 7}));
+  EXPECT_TRUE(g.Entails({1, 7, 8}, {2, 7, 8}));
+  EXPECT_FALSE(g.Entails({1, 7}, {2, 8}));
+}
+
+TEST(CorefTest, CongruenceMergesChildren) {
+  // a == b, a.r == x, b.r == y  =>  x == y.
+  CorefGraph g;
+  g.Equate({1, 5}, {3});  // a.r == x
+  g.Equate({2, 5}, {4});  // b.r == y
+  g.Equate({1}, {2});     // a == b
+  EXPECT_TRUE(g.Entails({3}, {4}));
+}
+
+TEST(CorefTest, DuplicateEquationsAreIdempotent) {
+  CorefGraph g;
+  g.Equate({1}, {2});
+  g.Equate({1}, {2});
+  g.Equate({2}, {1});
+  EXPECT_EQ(g.pairs().size(), 1u);
+}
+
+TEST(CorefTest, MergeFromCombinesGraphs) {
+  CorefGraph g1, g2;
+  g1.Equate({1}, {2});
+  g2.Equate({2}, {3});
+  g1.MergeFrom(g2);
+  EXPECT_TRUE(g1.Entails({1}, {3}));
+}
+
+TEST(CorefTest, CanonicalClassesGroupPaths) {
+  CorefGraph g;
+  g.Equate({1}, {2});
+  g.Equate({2}, {3});
+  g.Equate({4, 5}, {6});
+  auto classes = g.CanonicalClasses();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].size(), 3u);  // {1},{2},{3}
+  EXPECT_EQ(classes[1].size(), 2u);  // {4,5},{6}
+}
+
+TEST(CorefTest, EquivalentToComparesClosures) {
+  CorefGraph g1, g2;
+  g1.Equate({1}, {2});
+  g1.Equate({2}, {3});
+  g2.Equate({1}, {3});
+  g2.Equate({3}, {2});
+  EXPECT_TRUE(g1.EquivalentTo(g2));
+  CorefGraph g3;
+  g3.Equate({1}, {2});
+  EXPECT_FALSE(g1.EquivalentTo(g3));
+}
+
+TEST(CorefTest, HashAgreesWithEquivalence) {
+  CorefGraph g1, g2;
+  g1.Equate({1}, {2});
+  g1.Equate({2}, {3});
+  g2.Equate({2}, {3});
+  g2.Equate({1}, {2});
+  EXPECT_EQ(g1.Hash(), g2.Hash());
+}
+
+TEST(CorefTest, DeepSharedPrefixes) {
+  // x.a.b == y and x.a == z => z.b == y.
+  CorefGraph g;
+  g.Equate({1, 2, 3}, {4});  // x.a.b == y (roles: 1=x? modeling paths only)
+  g.Equate({1, 2}, {5});     // x.a == z
+  EXPECT_TRUE(g.Entails({5, 3}, {4}));
+}
+
+TEST(CorefTest, SelfLoopViaEquation) {
+  // p == p.r creates a cyclic class; Entails must terminate.
+  CorefGraph g;
+  g.Equate({1}, {1, 2});
+  EXPECT_TRUE(g.Entails({1}, {1, 2}));
+  EXPECT_TRUE(g.Entails({1}, {1, 2, 2}));
+  EXPECT_TRUE(g.Entails({1, 2}, {1, 2, 2, 2}));
+  EXPECT_FALSE(g.Entails({1}, {2}));
+}
+
+}  // namespace
+}  // namespace classic

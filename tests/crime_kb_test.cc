@@ -1,0 +1,200 @@
+// X1 — Integration test: the paper's Section 4 worked example (crimes and
+// criminals), end to end. Every behavior the section narrates is checked.
+
+#include <gtest/gtest.h>
+
+#include "classic/database.h"
+
+namespace classic {
+namespace {
+
+class CrimeKbTest : public ::testing::Test {
+ protected:
+  void Must(const Status& st) { ASSERT_TRUE(st.ok()) << st.ToString(); }
+  template <typename T>
+  T Must(Result<T> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).ValueOrDie();
+  }
+
+  void SetUp() override {
+    // site/domicile are attributes (single-valued; the SAME-AS chain goes
+    // through domicile). perpetrator is multi-valued in general — a CRIME
+    // may have many — but DOMESTIC-CRIME's SAME-AS derives AT-MOST 1 on
+    // it, exactly the paper's "inferrable that a DOMESTIC-CRIME has
+    // exactly one perpetrator".
+    Must(db_.DefineAttribute("site"));
+    Must(db_.DefineAttribute("domicile"));
+    Must(db_.DefineRole("perpetrator"));
+    Must(db_.DefineRole("victim"));
+    Must(db_.DefineRole("heard-speaking"));
+    Must(db_.DefineRole("typical-suspect"));
+    Must(db_.DefineRole("jobs"));
+
+    Must(db_.DefineConcept("PERSON", "(PRIMITIVE CLASSIC-THING person)"));
+    Must(db_.DefineConcept("ADULT", "(PRIMITIVE PERSON adult)"));
+
+    // CRIME: at least one perpetrator who is a person, a victim, exactly
+    // one site.
+    Must(db_.DefineConcept(
+        "CRIME",
+        "(PRIMITIVE (AND (AT-LEAST 1 perpetrator) (ALL perpetrator PERSON) "
+        "(AT-LEAST 1 victim) (AT-LEAST 1 site) (AT-MOST 1 site)) crime)"));
+
+    // Domestic crime: perpetrated at the (single) perpetrator's domicile.
+    Must(db_.DefineConcept(
+        "DOMESTIC-CRIME",
+        "(AND CRIME (AT-MOST 1 perpetrator) "
+        "(SAME-AS (site) (perpetrator domicile)))"));
+  }
+
+  Database db_;
+};
+
+TEST_F(CrimeKbTest, CrimeConceptInferences) {
+  // DOMESTIC-CRIME has exactly one perpetrator: AT-LEAST 1 comes from
+  // CRIME, AT-MOST 1 from its own definition ("Note that it is inferrable
+  // by CLASSIC that a DOMESTIC-CRIME has exactly one perpetrator").
+  EXPECT_TRUE(Must(
+      db_.Subsumes("(EXACTLY-ONE perpetrator)", "DOMESTIC-CRIME")));
+  // And CRIME subsumes DOMESTIC-CRIME in the taxonomy.
+  auto parents = Must(db_.Parents("DOMESTIC-CRIME"));
+  ASSERT_EQ(parents.size(), 1u);
+  EXPECT_EQ(parents[0], "CRIME");
+}
+
+TEST_F(CrimeKbTest, IncrementalEvidenceAccumulation) {
+  Must(db_.CreateIndividual("crime23", "CRIME"));
+
+  // A witness saw a group of criminals leaving.
+  Must(db_.AssertInd("crime23", "(AT-LEAST 2 perpetrator)"));
+
+  // They were overheard speaking Ruritanian. (heard-speaking was created
+  // on the fly — schema extension during data entry.)
+  Must(db_.CreateIndividual("Ruritanian"));
+  Must(db_.AssertInd(
+      "crime23",
+      "(ALL perpetrator (ALL heard-speaking (ONE-OF Ruritanian)))"));
+
+  // As identities are discovered, they fill the perpetrator role.
+  Must(db_.CreateIndividual("Boris", "PERSON"));
+  Must(db_.AssertInd("crime23", "(FILLS perpetrator Boris)"));
+
+  // The ALL restriction has propagated to Boris: everything he was heard
+  // speaking must be Ruritanian.
+  std::string boris = Must(db_.DescribeIndividual("Boris"));
+  EXPECT_NE(boris.find("heard-speaking"), std::string::npos) << boris;
+  EXPECT_NE(boris.find("Ruritanian"), std::string::npos) << boris;
+
+  // But crime23 cannot be a DOMESTIC-CRIME: that would require at most
+  // one perpetrator, contradicting the witness.
+  Status st = db_.AssertInd("crime23", "DOMESTIC-CRIME");
+  EXPECT_TRUE(st.IsInconsistent()) << st.ToString();
+}
+
+TEST_F(CrimeKbTest, DomesticCrimeRecognition) {
+  // A crime at the perpetrator's own home is recognized as DOMESTIC-CRIME
+  // from the facts alone (extensional SAME-AS evidence).
+  Must(db_.CreateIndividual("Wife", "PERSON"));
+  Must(db_.CreateIndividual("Husband", "PERSON"));
+  Must(db_.CreateIndividual("TheHouse"));
+  Must(db_.AssertInd("Wife", "(FILLS domicile TheHouse)"));
+
+  Must(db_.CreateIndividual("crime15", "CRIME"));
+  Must(db_.CreateIndividual("Vase"));
+  Must(db_.AssertInd("crime15", "(FILLS victim Vase)"));
+  Must(db_.AssertInd("crime15", "(FILLS site TheHouse)"));
+  Must(db_.AssertInd("crime15", "(FILLS perpetrator Wife)"));
+  // Open world: the wife might not be the only perpetrator until the
+  // role is closed — only then is AT-MOST 1 derivable.
+  EXPECT_EQ(Must(db_.Ask("DOMESTIC-CRIME")).size(), 0u);
+  Must(db_.AssertInd("crime15", "(CLOSE perpetrator)"));
+
+  auto domestic = Must(db_.Ask("DOMESTIC-CRIME"));
+  ASSERT_EQ(domestic.size(), 1u);
+  EXPECT_EQ(domestic[0], "crime15");
+}
+
+TEST_F(CrimeKbTest, SameAsDerivesDomicile) {
+  // Conversely: asserting DOMESTIC-CRIME lets the DB *derive* the
+  // perpetrator's domicile from the site.
+  Must(db_.CreateIndividual("Boris", "PERSON"));
+  Must(db_.CreateIndividual("Hideout"));
+  Must(db_.CreateIndividual("crime42", "CRIME"));
+  Must(db_.CreateIndividual("Goat"));
+  Must(db_.AssertInd("crime42", "(FILLS victim Goat)"));
+  Must(db_.AssertInd("crime42", "(FILLS perpetrator Boris)"));
+  Must(db_.AssertInd("crime42", "(FILLS site Hideout)"));
+  Must(db_.AssertInd("crime42", "DOMESTIC-CRIME"));
+  auto dom = Must(db_.Fillers("Boris", "domicile"));
+  ASSERT_EQ(dom.size(), 1u);
+  EXPECT_EQ(dom[0], "Hideout");
+}
+
+TEST_F(CrimeKbTest, HeuristicRuleAndAskDescription) {
+  // "domestic criminals are typically adults, and have no jobs"
+  Must(db_.AssertRule(
+      "DOMESTIC-CRIME",
+      "(ALL typical-suspect (AND ADULT (AT-MOST 0 jobs)))"));
+
+  // crime15 again:
+  Must(db_.CreateIndividual("Wife", "PERSON"));
+  Must(db_.CreateIndividual("TheHouse"));
+  Must(db_.AssertInd("Wife", "(FILLS domicile TheHouse)"));
+  Must(db_.CreateIndividual("crime15", "CRIME"));
+  Must(db_.CreateIndividual("Vase"));
+  Must(db_.AssertInd("crime15", "(FILLS victim Vase)"));
+  Must(db_.AssertInd("crime15", "(FILLS site TheHouse)"));
+  Must(db_.AssertInd("crime15", "(FILLS perpetrator Wife)"));
+  Must(db_.AssertInd("crime15", "(CLOSE perpetrator)"));
+
+  // ask-description: what is necessarily true of crime15's suspects?
+  std::string d = Must(db_.AskDescription(
+      "(AND (ONE-OF crime15) (ALL typical-suspect ?:PERSON))"));
+  EXPECT_NE(d.find("adult"), std::string::npos) << d;
+  EXPECT_NE(d.find("(AT-MOST 0 jobs)"), std::string::npos) << d;
+}
+
+TEST_F(CrimeKbTest, QueryForPerpetratorsOfDomesticCrimes) {
+  Must(db_.CreateIndividual("Wife", "PERSON"));
+  Must(db_.CreateIndividual("TheHouse"));
+  Must(db_.AssertInd("Wife", "(FILLS domicile TheHouse)"));
+  Must(db_.CreateIndividual("crime15", "CRIME"));
+  Must(db_.CreateIndividual("Vase"));
+  Must(db_.AssertInd("crime15", "(FILLS victim Vase)"));
+  Must(db_.AssertInd("crime15", "(FILLS site TheHouse)"));
+  Must(db_.AssertInd("crime15", "(FILLS perpetrator Wife)"));
+  Must(db_.AssertInd("crime15", "(CLOSE perpetrator)"));
+
+  auto perps = Must(db_.Ask(
+      "(AND DOMESTIC-CRIME (ALL perpetrator ?:THING))"));
+  ASSERT_EQ(perps.size(), 1u);
+  EXPECT_EQ(perps[0], "Wife");
+}
+
+TEST_F(CrimeKbTest, OpenWorldSuspects) {
+  // Crime with unknown perpetrator: DOMESTIC-CRIME instances include ones
+  // "where the identity of the perpetrator is not yet known exactly".
+  Must(db_.CreateIndividual("crime77", "CRIME"));
+  Must(db_.CreateIndividual("Somewhere"));
+  Must(db_.CreateIndividual("Window"));
+  Must(db_.AssertInd("crime77", "(FILLS victim Window)"));
+  Must(db_.AssertInd("crime77", "(FILLS site Somewhere)"));
+  Must(db_.AssertInd("crime77", "DOMESTIC-CRIME"));
+  // Recognized as domestic even though the perpetrator is unknown.
+  auto domestic = Must(db_.Ask("DOMESTIC-CRIME"));
+  ASSERT_EQ(domestic.size(), 1u);
+  // Identity is definite: (ONE-OF Suspect1) has Suspect1 as its only
+  // definite answer and nobody else even as a possible one.
+  Must(db_.CreateIndividual("Suspect1", "PERSON"));
+  auto definite = Must(db_.Ask("(ONE-OF Suspect1)"));
+  ASSERT_EQ(definite.size(), 1u);
+  EXPECT_EQ(definite[0], "Suspect1");
+  EXPECT_EQ(Must(db_.AskPossible("(ONE-OF Suspect1)")).size(), 0u);
+  // But the open question "who perpetrated crime77" admits any PERSON:
+  auto possible = Must(db_.AskPossible("(AT-LEAST 1 domicile)"));
+  EXPECT_FALSE(possible.empty());
+}
+
+}  // namespace
+}  // namespace classic

@@ -1,0 +1,201 @@
+// Tests for the explanation facility, including the agreement property:
+// every explanation's verdict must equal the actual judgment.
+
+#include <gtest/gtest.h>
+
+#include "classic/database.h"
+#include "classic/interpreter.h"
+#include "kb/explain.h"
+#include "subsume/subsume.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace classic {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void Must(const Status& st) { ASSERT_TRUE(st.ok()) << st.ToString(); }
+  template <typename T>
+  T Must(Result<T> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).ValueOrDie();
+  }
+
+  NormalFormPtr NF(const std::string& text) {
+    auto d = ParseDescriptionString(text, &db_.kb().vocab().symbols());
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    auto nf = db_.kb().normalizer().NormalizeConcept(*d);
+    EXPECT_TRUE(nf.ok()) << nf.status().ToString();
+    return *nf;
+  }
+
+  void SetUp() override {
+    Must(db_.DefineRole("enrolled-at"));
+    Must(db_.DefineRole("thing-driven"));
+    Must(db_.DefineConcept("PERSON", "(PRIMITIVE CLASSIC-THING person)"));
+    Must(db_.DefineConcept("STUDENT",
+                           "(AND PERSON (AT-LEAST 1 enrolled-at))"));
+    Must(db_.CreateIndividual("Rutgers"));
+    Must(db_.CreateIndividual("Rocky", "PERSON"));
+  }
+
+  Database db_;
+};
+
+TEST_F(ExplainTest, PositiveInstanceExplanation) {
+  Must(db_.AssertInd("Rocky", "(FILLS enrolled-at Rutgers)"));
+  IndId rocky = Must(db_.FindIndividual("Rocky"));
+  Explanation e = ExplainSatisfies(db_.kb(), rocky, *NF("STUDENT"));
+  EXPECT_TRUE(e.holds);
+  std::string text = e.ToString();
+  EXPECT_NE(text.find("[ok]"), std::string::npos);
+  EXPECT_EQ(text.find("[NO]"), std::string::npos) << text;
+  EXPECT_NE(text.find("person"), std::string::npos);
+  EXPECT_NE(text.find("at least 1"), std::string::npos);
+}
+
+TEST_F(ExplainTest, NegativeInstanceExplanationNamesTheGap) {
+  IndId rocky = Must(db_.FindIndividual("Rocky"));
+  Explanation e = ExplainSatisfies(db_.kb(), rocky, *NF("STUDENT"));
+  EXPECT_FALSE(e.holds);
+  std::string text = e.ToString();
+  // The failing constraint is the missing enrollment, not the primitive.
+  EXPECT_NE(text.find("[NO] needs at least 1 enrolled-at"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[ok] primitive person"), std::string::npos) << text;
+}
+
+TEST_F(ExplainTest, OpenWorldAllExplanation) {
+  Must(db_.DefineConcept("CAR", "(PRIMITIVE CLASSIC-THING car)"));
+  Must(db_.CreateIndividual("V1", "CAR"));
+  Must(db_.AssertInd("Rocky", "(FILLS thing-driven V1)"));
+  IndId rocky = Must(db_.FindIndividual("Rocky"));
+  // Not derivable while the role is open...
+  Explanation open =
+      ExplainSatisfies(db_.kb(), rocky, *NF("(ALL thing-driven CAR)"));
+  EXPECT_FALSE(open.holds);
+  EXPECT_NE(open.ToString().find("not closed"), std::string::npos);
+  // ...derivable after closing, with per-filler sub-explanations.
+  Must(db_.AssertInd("Rocky", "(CLOSE thing-driven)"));
+  Explanation closed =
+      ExplainSatisfies(db_.kb(), rocky, *NF("(ALL thing-driven CAR)"));
+  EXPECT_TRUE(closed.holds);
+  EXPECT_NE(closed.ToString().find("V1"), std::string::npos);
+}
+
+TEST_F(ExplainTest, SubsumptionExplanation) {
+  Explanation e = ExplainSubsumes(db_.kb(), *NF("(AT-LEAST 1 enrolled-at)"),
+                                  *NF("STUDENT"));
+  EXPECT_TRUE(e.holds);
+  Explanation no = ExplainSubsumes(db_.kb(), *NF("STUDENT"),
+                                   *NF("(AT-LEAST 1 enrolled-at)"));
+  EXPECT_FALSE(no.holds);
+  EXPECT_NE(no.ToString().find("[NO] primitive person"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, BottomExplanations) {
+  NormalFormPtr bottom = NF("(AND (AT-LEAST 1 thing-driven) "
+                            "(AT-MOST 0 thing-driven))");
+  IndId rocky = Must(db_.FindIndividual("Rocky"));
+  EXPECT_FALSE(ExplainSatisfies(db_.kb(), rocky, *bottom).holds);
+  EXPECT_TRUE(ExplainSubsumes(db_.kb(), *NF("PERSON"), *bottom).holds);
+  EXPECT_FALSE(ExplainSubsumes(db_.kb(), *bottom, *NF("PERSON")).holds);
+}
+
+TEST_F(ExplainTest, InterpreterOps) {
+  Interpreter interp(&db_);
+  auto why = interp.ExecuteString("(why Rocky STUDENT)");
+  ASSERT_TRUE(why.ok()) << why.status().ToString();
+  EXPECT_NE(why->find("[NO]"), std::string::npos);
+  auto ws = interp.ExecuteString(
+      "(why-subsumes (AT-LEAST 1 enrolled-at) STUDENT)");
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  EXPECT_NE(ws->find("[ok]"), std::string::npos);
+}
+
+// Agreement property: the explanation's verdict equals the real check,
+// across randomized individuals and concepts.
+class ExplainAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExplainAgreementTest, VerdictMatchesJudgment) {
+  Rng rng(GetParam());
+  Database db;
+  ASSERT_TRUE(db.DefineRole("r0").ok());
+  ASSERT_TRUE(db.DefineRole("r1").ok());
+  ASSERT_TRUE(
+      db.DefineConcept("P0", "(PRIMITIVE CLASSIC-THING p0)").ok());
+  ASSERT_TRUE(
+      db.DefineConcept("P1", "(PRIMITIVE CLASSIC-THING p1)").ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(db.CreateIndividual(StrCat("X", i)).ok());
+  }
+  // Random assertions (ignore rejections).
+  for (int i = 0; i < 25; ++i) {
+    std::string ind = StrCat("X", rng.Below(6));
+    std::string expr;
+    switch (rng.Below(5)) {
+      case 0: expr = StrCat("P", rng.Below(2)); break;
+      case 1:
+        expr = StrCat("(FILLS r", rng.Below(2), " X", rng.Below(6), ")");
+        break;
+      case 2: expr = StrCat("(AT-MOST ", 1 + rng.Below(3), " r",
+                            rng.Below(2), ")");
+        break;
+      case 3: expr = StrCat("(ALL r", rng.Below(2), " P", rng.Below(2),
+                            ")");
+        break;
+      case 4: expr = StrCat("(CLOSE r", rng.Below(2), ")"); break;
+    }
+    (void)db.AssertInd(ind, expr);
+  }
+  // Random probe concepts.
+  const char* probes[] = {
+      "P0",
+      "(AND P0 P1)",
+      "(AT-LEAST 1 r0)",
+      "(AT-MOST 1 r1)",
+      "(ALL r0 P1)",
+      "(AND (AT-LEAST 1 r0) (ALL r0 (AND P0 P1)))",
+      "(FILLS r1 X0)",
+      "(ONE-OF X1 X2)",
+  };
+  auto& norm = db.kb().normalizer();
+  auto& symbols = db.kb().vocab().symbols();
+  for (const char* probe : probes) {
+    auto d = ParseDescriptionString(probe, &symbols);
+    ASSERT_TRUE(d.ok());
+    auto nf = norm.NormalizeConcept(*d);
+    ASSERT_TRUE(nf.ok());
+    for (int i = 0; i < 6; ++i) {
+      IndId ind = *db.FindIndividual(StrCat("X", i));
+      bool actual = db.kb().Satisfies(ind, **nf);
+      Explanation e = ExplainSatisfies(db.kb(), ind, **nf);
+      EXPECT_EQ(e.holds, actual)
+          << "probe " << probe << " on X" << i << "\n" << e.ToString();
+    }
+  }
+  // Subsumption agreement over probe pairs.
+  for (const char* a : probes) {
+    for (const char* b : probes) {
+      auto da = ParseDescriptionString(a, &symbols);
+      auto dbb = ParseDescriptionString(b, &symbols);
+      ASSERT_TRUE(da.ok() && dbb.ok());
+      auto na = norm.NormalizeConcept(*da);
+      auto nb = norm.NormalizeConcept(*dbb);
+      ASSERT_TRUE(na.ok() && nb.ok());
+      bool actual = Subsumes(**na, **nb);
+      Explanation e = ExplainSubsumes(db.kb(), **na, **nb);
+      EXPECT_EQ(e.holds, actual) << a << " vs " << b << "\n"
+                                 << e.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExplainAgreementTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace classic

@@ -1,0 +1,128 @@
+// Tests for host individuals and the standard TEST-function library.
+
+#include <gtest/gtest.h>
+
+#include "classic/database.h"
+#include "host/standard_tests.h"
+
+namespace classic {
+namespace {
+
+class HostTest : public ::testing::Test {
+ protected:
+  void Must(const Status& st) { ASSERT_TRUE(st.ok()) << st.ToString(); }
+  template <typename T>
+  T Must(Result<T> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).ValueOrDie();
+  }
+
+  void SetUp() override {
+    Must(host::RegisterStandardTests(&db_.kb().vocab()));
+    Must(db_.DefineRole("age"));
+    Must(db_.DefineRole("name"));
+    Must(db_.DefineRole("score"));
+  }
+
+  Database db_;
+};
+
+TEST_F(HostTest, StandardTestsAreIdempotentToRegister) {
+  Must(host::RegisterStandardTests(&db_.kb().vocab()));
+}
+
+TEST_F(HostTest, EvenIntegerConcept) {
+  // The paper's EVEN-INTEGER: (AND INTEGER (TEST even)).
+  Must(db_.DefineConcept("EVEN-INTEGER", "(AND INTEGER (TEST even))"));
+  // Host values satisfy it by evaluation.
+  IndId four = db_.kb().vocab().InternHostValue(HostValue::Integer(4));
+  IndId five = db_.kb().vocab().InternHostValue(HostValue::Integer(5));
+  auto nf = db_.kb().vocab().concept_info(0).normal_form;
+  EXPECT_TRUE(db_.kb().Satisfies(four, *nf));
+  EXPECT_FALSE(db_.kb().Satisfies(five, *nf));
+}
+
+TEST_F(HostTest, RangeTestFactories) {
+  Must(db_.RegisterTest("teen-age", host::IntegerRangeTest(13, 19)));
+  Must(db_.DefineConcept("TEEN-AGED",
+                         "(AND (AT-LEAST 1 age) (ALL age (TEST teen-age)))"));
+  Must(db_.CreateIndividual("Rocky"));
+  Must(db_.AssertInd("Rocky", "(FILLS age 17)"));
+  Must(db_.AssertInd("Rocky", "(CLOSE age)"));
+  EXPECT_EQ(Must(db_.Ask("TEEN-AGED")).size(), 1u);
+  Must(db_.CreateIndividual("Grandpa"));
+  Must(db_.AssertInd("Grandpa", "(FILLS age 78)"));
+  Must(db_.AssertInd("Grandpa", "(CLOSE age)"));
+  EXPECT_EQ(Must(db_.Ask("TEEN-AGED")).size(), 1u);
+}
+
+TEST_F(HostTest, StringTests) {
+  Must(db_.RegisterTest("short-string", host::StringMaxLengthTest(5)));
+  Must(db_.RegisterTest("starts-ab", host::StringPrefixTest("ab")));
+  IndId abc = db_.kb().vocab().InternHostValue(HostValue::String("abc"));
+  IndId longstr = db_.kb().vocab().InternHostValue(
+      HostValue::String("abcdefghij"));
+  Must(db_.DefineConcept("SHORT-AB",
+                         "(AND (TEST short-string) (TEST starts-ab))"));
+  auto nf = db_.kb().vocab().concept_info(0).normal_form;
+  EXPECT_TRUE(db_.kb().Satisfies(abc, *nf));
+  EXPECT_FALSE(db_.kb().Satisfies(longstr, *nf));
+}
+
+TEST_F(HostTest, NumericPredicates) {
+  Vocabulary& v = db_.kb().vocab();
+  auto run = [&](const char* test, HostValue value) {
+    const TestFn* fn = *v.FindTest(v.symbols().Lookup(test));
+    IndId ind = v.InternHostValue(value);
+    TestArg arg{ind, &*v.individual(ind).host};
+    return (*fn)(arg);
+  };
+  EXPECT_TRUE(run("even", HostValue::Integer(0)));
+  EXPECT_FALSE(run("even", HostValue::Integer(7)));
+  EXPECT_TRUE(run("odd", HostValue::Integer(-3)));
+  EXPECT_TRUE(run("positive", HostValue::Real(0.5)));
+  EXPECT_TRUE(run("negative", HostValue::Integer(-2)));
+  EXPECT_TRUE(run("zero", HostValue::Real(0.0)));
+  EXPECT_FALSE(run("even", HostValue::String("4")));
+  EXPECT_TRUE(run("non-empty-string", HostValue::String("x")));
+  EXPECT_FALSE(run("non-empty-string", HostValue::String("")));
+}
+
+TEST_F(HostTest, TestsNeverApplyToClassicIndividualsUnlessAsserted) {
+  Must(db_.DefineConcept("EVEN-THING", "(TEST even)"));
+  Must(db_.CreateIndividual("Rocky"));
+  EXPECT_EQ(Must(db_.Ask("EVEN-THING")).size(), 0u);
+  // Asserting the TEST concept of an individual records it.
+  Must(db_.AssertInd("Rocky", "(TEST even)"));
+  EXPECT_EQ(Must(db_.Ask("EVEN-THING")).size(), 1u);
+}
+
+TEST_F(HostTest, HostValuesInQueries) {
+  Must(db_.CreateIndividual("Rocky"));
+  Must(db_.AssertInd("Rocky", "(FILLS age 17)"));
+  Must(db_.CreateIndividual("Dino"));
+  Must(db_.AssertInd("Dino", "(FILLS age 21)"));
+  auto seventeen = Must(db_.Ask("(FILLS age 17)"));
+  ASSERT_EQ(seventeen.size(), 1u);
+  EXPECT_EQ(seventeen[0], "Rocky");
+  // Marked query over host fillers: the ages of people named here.
+  auto ages = Must(db_.Ask("(AND (ONE-OF Rocky Dino) (ALL age ?:INTEGER))"));
+  EXPECT_EQ(ages.size(), 2u);
+}
+
+TEST_F(HostTest, MixedEnumerations) {
+  // Host values and CLASSIC individuals can share an enumeration.
+  Must(db_.CreateIndividual("Unknown"));
+  Must(db_.DefineConcept("CODE", "(ONE-OF 1 2 Unknown)"));
+  auto inst = Must(db_.Ask("CODE"));
+  // 1 and 2 are interned host individuals, Unknown is classic.
+  EXPECT_EQ(inst.size(), 3u);
+}
+
+TEST_F(HostTest, DuplicateTestRegistrationFails) {
+  EXPECT_TRUE(db_.RegisterTest("even", [](const TestArg&) { return true; })
+                  .IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace classic

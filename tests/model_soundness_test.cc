@@ -1,0 +1,321 @@
+// Finite-model soundness checking of structural subsumption.
+//
+// The paper gives CLASSIC a denotational semantics: "Concept meanings are
+// functions that map database states to the sets of objects that
+// 'satisfy' the conceptual descriptions in that state", and subsumption
+// means containment in *every* state. This suite samples random complete
+// states (finite interpretations over a small universe) and verifies the
+// soundness direction of the implementation exhaustively on the sample:
+//
+//     Subsumes(A, B)  ==>  in every sampled state, every object
+//                          satisfying B satisfies A.
+//
+// A single counterexample would be a real subsumption bug, so the check
+// asserts. The converse (completeness) cannot be refuted by sampling —
+// a "missing" witness may simply not be in the sample — so failures of
+// the converse are only counted, not asserted; the count is reported as
+// a gtest property for inspection.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "desc/normalize.h"
+#include "subsume/subsume.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace classic {
+namespace {
+
+constexpr size_t kObjects = 5;
+constexpr size_t kModelRoles = 4;   // r0, r1 plain; a0, a1 attributes
+constexpr size_t kModelAtoms = 4;
+
+/// A complete state: every object's atoms and role fillers are fully
+/// known (the closed-world "state" of the paper's semantics).
+struct Model {
+  // atoms[x] = set of atom indices true of object x.
+  std::vector<std::set<size_t>> atoms;
+  // fillers[x][r] = objects related to x by role r.
+  std::vector<std::vector<std::set<IndId>>> fillers;
+};
+
+class ModelSoundnessEnv {
+ public:
+  ModelSoundnessEnv() : norm_(&vocab_) {
+    role_ids_.push_back(*vocab_.DefineRole("r0", false));
+    role_ids_.push_back(*vocab_.DefineRole("r1", false));
+    role_ids_.push_back(*vocab_.DefineRole("a0", true));
+    role_ids_.push_back(*vocab_.DefineRole("a1", true));
+    for (size_t i = 0; i < kObjects; ++i) {
+      objects_.push_back(*vocab_.CreateIndividual(StrCat("O", i)));
+    }
+    for (size_t i = 0; i < kModelAtoms; ++i) {
+      atom_ids_.push_back(
+          vocab_.PrimitiveAtom(vocab_.symbols().Intern(StrCat("m", i))));
+    }
+  }
+
+  Vocabulary vocab_;
+  Normalizer norm_;
+  std::vector<RoleId> role_ids_;
+  std::vector<IndId> objects_;
+  std::vector<AtomId> atom_ids_;
+
+  size_t ObjectIndex(IndId ind) const {
+    for (size_t i = 0; i < objects_.size(); ++i) {
+      if (objects_[i] == ind) return i;
+    }
+    return kObjects;  // not in universe
+  }
+
+  // --- Random description generation -------------------------------------
+
+  DescPtr Generate(Rng* rng, size_t budget, int depth = 0) {
+    std::vector<DescPtr> parts;
+    while (budget > 0) {
+      switch (rng->Below(depth < 2 ? 7 : 5)) {
+        case 0:
+          parts.push_back(Description::Primitive(
+              Description::Thing(),
+              vocab_.symbols().Intern(StrCat("m", rng->Below(kModelAtoms)))));
+          budget -= std::min<size_t>(budget, 1);
+          break;
+        case 1:
+          parts.push_back(Description::AtLeast(
+              static_cast<uint32_t>(rng->Below(3)), RoleSym(rng)));
+          budget -= std::min<size_t>(budget, 1);
+          break;
+        case 2:
+          parts.push_back(Description::AtMost(
+              static_cast<uint32_t>(rng->Below(4)), RoleSym(rng)));
+          budget -= std::min<size_t>(budget, 1);
+          break;
+        case 3: {
+          std::vector<IndRef> members;
+          size_t n = 1 + rng->Below(3);
+          for (size_t i = 0; i < n; ++i) {
+            members.push_back(IndRef::Named(vocab_.symbols().Intern(
+                StrCat("O", rng->Below(kObjects)))));
+          }
+          parts.push_back(Description::OneOf(std::move(members)));
+          budget -= std::min<size_t>(budget, 2);
+          break;
+        }
+        case 4: {
+          std::vector<IndRef> members;
+          members.push_back(IndRef::Named(
+              vocab_.symbols().Intern(StrCat("O", rng->Below(kObjects)))));
+          parts.push_back(
+              Description::Fills(RoleSym(rng), std::move(members)));
+          budget -= std::min<size_t>(budget, 1);
+          break;
+        }
+        case 5: {
+          if (budget < 3) {
+            budget -= 1;
+            break;
+          }
+          size_t inner = budget / 2;
+          parts.push_back(Description::All(
+              RoleSym(rng), Generate(rng, inner, depth + 1)));
+          budget -= std::min(budget, inner + 1);
+          break;
+        }
+        case 6: {
+          // SAME-AS between the two attributes (possibly chained).
+          std::vector<Symbol> p1 = {vocab_.symbols().Intern("a0")};
+          std::vector<Symbol> p2 = {vocab_.symbols().Intern("a1")};
+          if (rng->Chance(0.3)) p2.push_back(vocab_.symbols().Intern("a0"));
+          parts.push_back(Description::SameAs(p1, p2));
+          budget -= std::min<size_t>(budget, 2);
+          break;
+        }
+      }
+    }
+    if (parts.empty()) return Description::Thing();
+    if (parts.size() == 1) return parts[0];
+    return Description::And(std::move(parts));
+  }
+
+  // --- Random complete states ---------------------------------------------
+
+  Model GenerateModel(Rng* rng) {
+    Model m;
+    m.atoms.resize(kObjects);
+    m.fillers.assign(kObjects,
+                     std::vector<std::set<IndId>>(kModelRoles));
+    for (size_t x = 0; x < kObjects; ++x) {
+      for (size_t a = 0; a < kModelAtoms; ++a) {
+        if (rng->Chance(0.5)) m.atoms[x].insert(a);
+      }
+      for (size_t r = 0; r < kModelRoles; ++r) {
+        const bool attribute = vocab_.role(role_ids_[r]).attribute;
+        size_t max = attribute ? 1 : 3;
+        size_t n = rng->Below(max + 1);
+        while (m.fillers[x][r].size() < n) {
+          m.fillers[x][r].insert(objects_[rng->Below(kObjects)]);
+        }
+      }
+    }
+    return m;
+  }
+
+  // --- Evaluation of a normal form in a state ------------------------------
+
+  bool Holds(const Model& m, size_t x, const NormalForm& nf) const {
+    if (nf.incoherent()) return false;
+    for (AtomId a : nf.atoms()) {
+      bool found = false;
+      for (size_t i = 0; i < atom_ids_.size(); ++i) {
+        if (atom_ids_[i] == a) {
+          found = m.atoms[x].count(i) > 0;
+          break;
+        }
+      }
+      // Atoms outside the model vocabulary (e.g. CLASSIC-THING) hold of
+      // every model object.
+      if (a == vocab_.classic_thing_atom()) found = true;
+      if (!found) return false;
+    }
+    if (nf.enumeration() && nf.enumeration()->count(objects_[x]) == 0) {
+      return false;
+    }
+    if (!nf.tests().empty()) return false;  // tests unmodeled: fail closed
+    for (const auto& [role, rr] : nf.roles()) {
+      size_t r = RoleIndex(role);
+      const std::set<IndId>& have = m.fillers[x][r];
+      if (have.size() < rr.at_least) return false;
+      if (rr.at_most != kUnbounded && have.size() > rr.at_most) return false;
+      for (IndId f : rr.fillers) {
+        if (have.count(f) == 0) return false;
+      }
+      if (rr.value_restriction && !rr.value_restriction->IsThing()) {
+        for (IndId f : have) {
+          size_t fi = ObjectIndex(f);
+          if (fi >= kObjects) return false;
+          if (!Holds(m, fi, *rr.value_restriction)) return false;
+        }
+      }
+    }
+    for (const auto& [p, q] : nf.coref().pairs()) {
+      auto walk = [&](const RolePath& path) -> std::optional<IndId> {
+        IndId cur = objects_[x];
+        for (RoleId role : path) {
+          size_t ci = ObjectIndex(cur);
+          if (ci >= kObjects) return std::nullopt;
+          const auto& f = m.fillers[ci][RoleIndex(role)];
+          if (f.size() != 1) return std::nullopt;
+          cur = *f.begin();
+        }
+        return cur;
+      };
+      auto vp = walk(p);
+      auto vq = walk(q);
+      if (!vp || !vq || *vp != *vq) return false;
+    }
+    return true;
+  }
+
+ private:
+  Symbol RoleSym(Rng* rng) {
+    static const char* kNames[] = {"r0", "r1", "a0", "a1"};
+    return vocab_.symbols().Intern(kNames[rng->Below(kModelRoles)]);
+  }
+
+  size_t RoleIndex(RoleId role) const {
+    for (size_t i = 0; i < role_ids_.size(); ++i) {
+      if (role_ids_[i] == role) return i;
+    }
+    ADD_FAILURE() << "role outside model vocabulary";
+    return 0;
+  }
+};
+
+ModelSoundnessEnv* Env() {
+  static auto* env = new ModelSoundnessEnv();
+  return env;
+}
+
+class ModelSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelSoundnessTest, SubsumptionIsSoundOnSampledStates) {
+  Rng rng(GetParam() * 2654435761ULL + 17);
+  auto* env = Env();
+
+  // A pool of descriptions including related pairs (x vs x AND y).
+  std::vector<NormalFormPtr> pool;
+  for (int i = 0; i < 6; ++i) {
+    DescPtr a = env->Generate(&rng, 8);
+    DescPtr b = env->Generate(&rng, 8);
+    auto na = env->norm_.NormalizeConcept(a);
+    auto nab = env->norm_.NormalizeConcept(Description::And({a, b}));
+    ASSERT_TRUE(na.ok() && nab.ok());
+    pool.push_back(*na);
+    pool.push_back(*nab);
+  }
+
+  std::vector<Model> models;
+  for (int i = 0; i < 12; ++i) models.push_back(env->GenerateModel(&rng));
+
+  size_t positive_pairs = 0;
+  size_t completeness_misses = 0;
+  for (const auto& a : pool) {
+    for (const auto& b : pool) {
+      bool subsumes = Subsumes(*a, *b);
+      bool contained_everywhere = true;
+      for (const auto& m : models) {
+        for (size_t x = 0; x < kObjects; ++x) {
+          if (env->Holds(m, x, *b) && !env->Holds(m, x, *a)) {
+            contained_everywhere = false;
+            // SOUNDNESS: a declared subsumption can never have a
+            // counterexample state.
+            ASSERT_FALSE(subsumes)
+                << "unsound subsumption!\nA = " << a->ToString(env->vocab_)
+                << "\nB = " << b->ToString(env->vocab_)
+                << "\nobject O" << x << " satisfies B but not A";
+          }
+        }
+        if (!contained_everywhere) break;
+      }
+      if (subsumes) ++positive_pairs;
+      if (!subsumes && contained_everywhere) ++completeness_misses;
+    }
+  }
+  // The sample must actually exercise positive subsumptions (x AND y is
+  // always under x), or the test proves nothing.
+  EXPECT_GT(positive_pairs, pool.size() / 2);
+  // Possible completeness misses are informational: containment on a
+  // finite sample does not imply containment in all states.
+  RecordProperty("positive_pairs", static_cast<int>(positive_pairs));
+  RecordProperty("possible_completeness_misses",
+                 static_cast<int>(completeness_misses));
+}
+
+TEST_P(ModelSoundnessTest, IncoherentFormsAreUnsatisfiable) {
+  Rng rng(GetParam() * 40503ULL + 3);
+  auto* env = Env();
+  // Force incoherence by conjoining clashing bounds.
+  DescPtr base = env->Generate(&rng, 6);
+  DescPtr clash = Description::And(
+      {base, Description::AtLeast(2, env->vocab_.symbols().Intern("r0")),
+       Description::AtMost(1, env->vocab_.symbols().Intern("r0"))});
+  auto nf = env->norm_.NormalizeConcept(clash);
+  ASSERT_TRUE(nf.ok());
+  ASSERT_TRUE((*nf)->incoherent());
+  for (int i = 0; i < 6; ++i) {
+    Model m = env->GenerateModel(&rng);
+    for (size_t x = 0; x < kObjects; ++x) {
+      EXPECT_FALSE(env->Holds(m, x, **nf));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelSoundnessTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace classic

@@ -1,0 +1,301 @@
+// Property-based tests at the knowledge-base level, over randomized
+// update sequences (parameterized by seed):
+//
+//   - monotonicity: accepted updates never shrink any concept extension
+//     ("every individual can move into a class at most once");
+//   - atomicity: a rejected update leaves every individual's derived
+//     description untouched;
+//   - agreement: classified retrieval equals the naive scan on random
+//     queries;
+//   - consistency: the answer set and the possible set never overlap;
+//   - persistence: snapshot + reload reproduces every extension;
+//   - retraction: retract + reassert returns to the same state.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+#include "classic/database.h"
+#include "desc/parser.h"
+#include "query/query.h"
+#include "storage/snapshot.h"
+#include "subsume/subsume.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace classic {
+namespace {
+
+constexpr size_t kConcepts = 8;
+constexpr size_t kRoles = 4;
+constexpr size_t kInds = 14;
+
+/// Builds a random-but-consistent database; records which updates were
+/// accepted.
+class RandomDb {
+ public:
+  explicit RandomDb(uint64_t seed) : rng_(seed) {
+    Must(db_.DefineRole("q0"));
+    Must(db_.DefineRole("q1"));
+    Must(db_.DefineAttribute("q2"));
+    Must(db_.DefineAttribute("q3"));
+    for (size_t i = 0; i < kConcepts / 2; ++i) {
+      Must(db_.DefineConcept(StrCat("P", i),
+                             StrCat("(PRIMITIVE CLASSIC-THING pp", i, ")")));
+    }
+    for (size_t i = 0; i < kConcepts / 2; ++i) {
+      Must(db_.DefineConcept(
+          StrCat("D", i),
+          StrCat("(AND P", i % (kConcepts / 2), " (AT-LEAST 1 q",
+                 i % kRoles, "))")));
+    }
+    for (size_t i = 0; i < kInds; ++i) {
+      Must(db_.CreateIndividual(StrCat("X", i)));
+    }
+  }
+
+  /// One random update; returns true if it was accepted.
+  bool Step() {
+    std::string ind = StrCat("X", rng_.Below(kInds));
+    std::string expr;
+    switch (rng_.Below(6)) {
+      case 0:
+        expr = StrCat("P", rng_.Below(kConcepts / 2));
+        break;
+      case 1:
+        expr = StrCat("D", rng_.Below(kConcepts / 2));
+        break;
+      case 2:
+        expr = StrCat("(FILLS q", rng_.Below(kRoles), " X",
+                      rng_.Below(kInds), ")");
+        break;
+      case 3:
+        expr = StrCat("(AT-LEAST ", 1 + rng_.Below(2), " q",
+                      rng_.Below(kRoles), ")");
+        break;
+      case 4:
+        expr = StrCat("(AT-MOST ", 1 + rng_.Below(3), " q",
+                      rng_.Below(kRoles), ")");
+        break;
+      case 5:
+        expr = StrCat("(ALL q", rng_.Below(kRoles), " P",
+                      rng_.Below(kConcepts / 2), ")");
+        break;
+    }
+    Status st = db_.AssertInd(ind, expr);
+    if (st.ok()) accepted_.emplace_back(ind, expr);
+    return st.ok();
+  }
+
+  std::map<std::string, std::vector<std::string>> Extensions() {
+    std::map<std::string, std::vector<std::string>> out;
+    for (size_t i = 0; i < kConcepts / 2; ++i) {
+      out[StrCat("P", i)] = Get(StrCat("P", i));
+      out[StrCat("D", i)] = Get(StrCat("D", i));
+    }
+    return out;
+  }
+
+  std::vector<std::string> Get(const std::string& name) {
+    auto r = db_.InstancesOf(name);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : std::vector<std::string>{};
+  }
+
+  Database& db() { return db_; }
+  Rng& rng() { return rng_; }
+  const std::vector<std::pair<std::string, std::string>>& accepted() const {
+    return accepted_;
+  }
+
+ private:
+  void Must(const Status& st) { ASSERT_TRUE(st.ok()) << st.ToString(); }
+
+  Database db_;
+  Rng rng_;
+  std::vector<std::pair<std::string, std::string>> accepted_;
+};
+
+class KbPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KbPropertyTest, ExtensionsGrowMonotonically) {
+  RandomDb rdb(GetParam());
+  auto before = rdb.Extensions();
+  for (int step = 0; step < 40; ++step) {
+    rdb.Step();
+    auto after = rdb.Extensions();
+    for (const auto& [name, ext] : before) {
+      for (const auto& member : ext) {
+        EXPECT_NE(std::find(after[name].begin(), after[name].end(), member),
+                  after[name].end())
+            << member << " vanished from " << name << " at step " << step;
+      }
+    }
+    before = std::move(after);
+  }
+}
+
+TEST_P(KbPropertyTest, RejectedUpdatesLeaveNoTrace) {
+  RandomDb rdb(GetParam() * 7 + 1);
+  for (int i = 0; i < 30; ++i) rdb.Step();
+  // Snapshot all derived descriptions.
+  auto snapshot = [&]() {
+    std::vector<std::string> out;
+    for (size_t i = 0; i < kInds; ++i) {
+      auto d = rdb.db().DescribeIndividual(StrCat("X", i));
+      EXPECT_TRUE(d.ok());
+      out.push_back(d.ok() ? *d : "");
+    }
+    return out;
+  };
+  int rejected = 0;
+  for (int i = 0; i < 60 && rejected < 5; ++i) {
+    auto before = snapshot();
+    bool ok = rdb.Step();
+    if (!ok) {
+      ++rejected;
+      EXPECT_EQ(before, snapshot()) << "rejected update mutated state";
+    }
+  }
+}
+
+TEST_P(KbPropertyTest, ClassifiedRetrievalEqualsNaive) {
+  RandomDb rdb(GetParam() * 13 + 5);
+  for (int i = 0; i < 50; ++i) rdb.Step();
+  auto& symbols = rdb.db().kb().vocab().symbols();
+  Rng& rng = rdb.rng();
+  for (int q = 0; q < 12; ++q) {
+    std::string text;
+    switch (rng.Below(4)) {
+      case 0:
+        text = StrCat("P", rng.Below(kConcepts / 2));
+        break;
+      case 1:
+        text = StrCat("(AND P", rng.Below(kConcepts / 2), " (AT-LEAST 1 q",
+                      rng.Below(kRoles), "))");
+        break;
+      case 2:
+        text = StrCat("(AT-MOST ", rng.Below(3), " q", rng.Below(kRoles),
+                      ")");
+        break;
+      case 3:
+        text = StrCat("(FILLS q", rng.Below(kRoles), " X",
+                      rng.Below(kInds), ")");
+        break;
+    }
+    auto query = ParseQueryString(text, &symbols);
+    ASSERT_TRUE(query.ok()) << text;
+    auto pruned = Retrieve(rdb.db().kb(), *query);
+    auto naive = RetrieveNaive(rdb.db().kb(), *query);
+    ASSERT_TRUE(pruned.ok() && naive.ok());
+    EXPECT_EQ(pruned->answers, naive->answers) << text;
+  }
+}
+
+TEST_P(KbPropertyTest, DefiniteAndPossibleAreDisjoint) {
+  RandomDb rdb(GetParam() * 19 + 3);
+  for (int i = 0; i < 40; ++i) rdb.Step();
+  for (size_t c = 0; c < kConcepts / 2; ++c) {
+    std::string name = StrCat("D", c);
+    auto definite = rdb.db().Ask(name);
+    auto possible = rdb.db().AskPossible(name);
+    ASSERT_TRUE(definite.ok() && possible.ok());
+    for (const auto& d : *definite) {
+      EXPECT_EQ(std::find(possible->begin(), possible->end(), d),
+                possible->end())
+          << d << " is both definite and merely-possible for " << name;
+    }
+  }
+}
+
+TEST_P(KbPropertyTest, SnapshotReloadPreservesExtensions) {
+  RandomDb rdb(GetParam() * 29 + 11);
+  for (int i = 0; i < 40; ++i) rdb.Step();
+  std::string path =
+      StrCat(::testing::TempDir(), "/classic_prop_", GetParam(), ".snap");
+  ASSERT_TRUE(rdb.db().SaveSnapshot(path).ok());
+  Database restored;
+  ASSERT_TRUE(restored.LoadFile(path).ok());
+  for (size_t c = 0; c < kConcepts / 2; ++c) {
+    for (const char* prefix : {"P", "D"}) {
+      std::string name = StrCat(prefix, c);
+      auto a = rdb.db().InstancesOf(name);
+      auto b = restored.InstancesOf(name);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << name;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(KbPropertyTest, RetractReassertRoundTrips) {
+  RandomDb rdb(GetParam() * 37 + 23);
+  for (int i = 0; i < 30; ++i) rdb.Step();
+  if (rdb.accepted().empty()) return;
+  // Pick an accepted assertion, snapshot, retract it, reassert, compare.
+  const auto& [ind, expr] =
+      rdb.accepted()[rdb.rng().Below(rdb.accepted().size())];
+  std::string before = storage::DumpDatabase(rdb.db().kb());
+  ASSERT_TRUE(rdb.db().RetractInd(ind, expr).ok()) << ind << " " << expr;
+  Status st = rdb.db().AssertInd(ind, expr);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // The base (and hence all derivations) is restored up to assertion
+  // order within the individual; extensions must match exactly.
+  RandomDb fresh(GetParam() * 37 + 23);
+  for (int i = 0; i < 30; ++i) fresh.Step();
+  for (size_t c = 0; c < kConcepts / 2; ++c) {
+    EXPECT_EQ(rdb.Get(StrCat("D", c)), fresh.Get(StrCat("D", c)));
+  }
+  (void)before;
+}
+
+TEST_P(KbPropertyTest, SubsumptionImpliesExtensionContainment) {
+  // Soundness link between the terminological and assertional levels: if
+  // A subsumes B by definition, then every recognized instance of B is a
+  // recognized instance of A, whatever the data.
+  RandomDb rdb(GetParam() * 41 + 9);
+  for (int i = 0; i < 50; ++i) rdb.Step();
+  auto& kbm = rdb.db().kb();
+  auto& symbols = kbm.vocab().symbols();
+  std::vector<std::string> exprs;
+  for (size_t c = 0; c < kConcepts / 2; ++c) {
+    exprs.push_back(StrCat("P", c));
+    exprs.push_back(StrCat("D", c));
+  }
+  for (size_t r = 0; r < kRoles; ++r) {
+    exprs.push_back(StrCat("(AT-LEAST 1 q", r, ")"));
+    exprs.push_back(StrCat("(AND P0 (AT-LEAST 1 q", r, "))"));
+  }
+  auto norm = [&](const std::string& s) {
+    auto d = ParseDescriptionString(s, &symbols);
+    EXPECT_TRUE(d.ok());
+    auto nf = kbm.normalizer().NormalizeConcept(*d);
+    EXPECT_TRUE(nf.ok());
+    return *nf;
+  };
+  auto answers = [&](const std::string& s) {
+    auto q = ParseQueryString(s, &symbols);
+    EXPECT_TRUE(q.ok());
+    auto r = Retrieve(kbm, *q);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? r->answers : std::vector<IndId>{};
+  };
+  for (const auto& a : exprs) {
+    for (const auto& b : exprs) {
+      if (!Subsumes(*norm(a), *norm(b))) continue;
+      auto ea = answers(a);
+      auto eb = answers(b);
+      for (IndId i : eb) {
+        EXPECT_NE(std::find(ea.begin(), ea.end(), i), ea.end())
+            << "instance of " << b << " missing from subsumer " << a;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KbPropertyTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace classic

@@ -1,0 +1,253 @@
+// Tests for concepts-as-queries: retrieval with classification pruning,
+// ?: markers, the three answer kinds, and intensional answers.
+
+#include <gtest/gtest.h>
+
+#include "classic/database.h"
+#include "query/describe.h"
+#include "query/query.h"
+
+namespace classic {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void Must(const Status& st) { ASSERT_TRUE(st.ok()) << st.ToString(); }
+  template <typename T>
+  T Must(Result<T> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).ValueOrDie();
+  }
+
+  void SetUp() override {
+    Must(db_.DefineRole("thing-driven"));
+    Must(db_.DefineRole("maker"));
+    Must(db_.DefineRole("enrolled-at"));
+    Must(db_.DefineConcept("PERSON", "(PRIMITIVE CLASSIC-THING person)"));
+    Must(db_.DefineConcept("COMPANY", "(PRIMITIVE CLASSIC-THING company)"));
+    Must(db_.DefineConcept("ITALIAN-COMPANY",
+                           "(PRIMITIVE COMPANY italian)"));
+    Must(db_.DefineConcept("CAR", "(PRIMITIVE CLASSIC-THING car)"));
+    Must(db_.DefineConcept("SPORTS-CAR", "(PRIMITIVE CAR sports-car)"));
+    Must(db_.DefineConcept("STUDENT",
+                           "(AND PERSON (AT-LEAST 1 enrolled-at))"));
+
+    Must(db_.CreateIndividual("Rutgers"));
+    Must(db_.CreateIndividual("Ferrari", "ITALIAN-COMPANY"));
+    Must(db_.CreateIndividual("GM", "COMPANY"));
+    Must(db_.CreateIndividual("F40", "SPORTS-CAR"));
+    Must(db_.AssertInd("F40", "(FILLS maker Ferrari)"));
+    Must(db_.CreateIndividual("Impala", "CAR"));
+    Must(db_.AssertInd("Impala", "(FILLS maker GM)"));
+    Must(db_.CreateIndividual("Rocky", "PERSON"));
+    Must(db_.AssertInd("Rocky", "(FILLS enrolled-at Rutgers)"));
+    Must(db_.AssertInd("Rocky", "(FILLS thing-driven F40)"));
+    Must(db_.CreateIndividual("Dino", "PERSON"));
+    Must(db_.AssertInd("Dino", "(FILLS thing-driven Impala)"));
+  }
+
+  Database db_;
+};
+
+TEST_F(QueryTest, NamedConceptQueryUsesIndex) {
+  auto r = Must(db_.AskWithStats("STUDENT"));
+  ASSERT_EQ(r.answers.size(), 1u);
+  // Equivalent to a schema concept: answered from the instance index with
+  // zero per-candidate tests.
+  EXPECT_EQ(r.stats.candidates_tested, 0u);
+  EXPECT_GT(r.stats.answers_from_index, 0u);
+}
+
+TEST_F(QueryTest, ComplexQueryIsClassifiedThenTested) {
+  auto r = Must(db_.AskWithStats("(AND PERSON (AT-LEAST 1 thing-driven))"));
+  ASSERT_EQ(r.answers.size(), 2u);  // Rocky, Dino
+  // Candidates were restricted to PERSON instances (3 = Rocky/Dino +
+  // nobody else; Ferrari/GM are companies).
+  EXPECT_LE(r.stats.candidates_tested, 3u);
+}
+
+TEST_F(QueryTest, SubsumedConceptInstancesNeedNoTest) {
+  // Query: things with a maker. SPORTS-CAR doesn't entail it, but a more
+  // specific defined concept would; define one and check index reuse.
+  Must(db_.DefineConcept("MADE-THING", "(AT-LEAST 1 maker)"));
+  auto r = Must(db_.AskWithStats("(AT-LEAST 1 maker)"));
+  // Equivalent to MADE-THING now.
+  EXPECT_EQ(r.stats.candidates_tested, 0u);
+  ASSERT_EQ(r.answers.size(), 2u);
+}
+
+TEST_F(QueryTest, FillsQuery) {
+  auto names = Must(db_.Ask("(FILLS thing-driven F40)"));
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "Rocky");
+}
+
+TEST_F(QueryTest, OneOfQuery) {
+  auto names = Must(db_.Ask("(ONE-OF Rocky Dino GM)"));
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST_F(QueryTest, MarkedQueryAtRoot) {
+  auto names = Must(db_.Ask("?:PERSON"));
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST_F(QueryTest, MarkedQueryThroughRole) {
+  // Objects driven by students.
+  auto names =
+      Must(db_.Ask("(AND STUDENT (ALL thing-driven ?:THING))"));
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "F40");
+}
+
+TEST_F(QueryTest, MarkedQueryWithConstraintOnAnswer) {
+  // The paper's example: objects driven by students with maker Ferrari.
+  auto names = Must(db_.Ask(
+      "(AND STUDENT (ALL thing-driven ?:(FILLS maker Ferrari)))"));
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "F40");
+  // With a non-matching constraint, no answers.
+  auto none = Must(db_.Ask(
+      "(AND STUDENT (ALL thing-driven ?:(FILLS maker GM)))"));
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST_F(QueryTest, MarkedQueryTwoLevels) {
+  // Makers of things driven by persons.
+  auto names = Must(db_.Ask(
+      "(AND PERSON (ALL thing-driven (ALL maker ?:COMPANY)))"));
+  EXPECT_EQ(names.size(), 2u);  // Ferrari, GM
+}
+
+TEST_F(QueryTest, MarkerMisuseRejected) {
+  EXPECT_FALSE(db_.Ask("(AND ?:PERSON ?:COMPANY)").ok());
+  EXPECT_FALSE(db_.Ask("(ONE-OF ?:Rocky)").ok());
+}
+
+TEST_F(QueryTest, PossibleAnswersUnderOpenWorld) {
+  // Who might drive the Impala? Anyone not provably excluded.
+  auto possible = Must(db_.AskPossible("(FILLS thing-driven Impala)"));
+  // Dino drives it (definite, so not in "possible"); Rocky has no bound on
+  // thing-driven, so he might.
+  bool has_rocky = false, has_dino = false;
+  for (const auto& n : possible) {
+    has_rocky |= (n == "Rocky");
+    has_dino |= (n == "Dino");
+  }
+  EXPECT_TRUE(has_rocky);
+  EXPECT_FALSE(has_dino);
+}
+
+TEST_F(QueryTest, PossibleExcludesContradictions) {
+  Must(db_.CreateIndividual("Hermit", "PERSON"));
+  Must(db_.AssertInd("Hermit", "(AT-MOST 0 thing-driven)"));
+  auto possible = Must(db_.AskPossible("(AT-LEAST 1 thing-driven)"));
+  for (const auto& n : possible) EXPECT_NE(n, "Hermit");
+}
+
+TEST_F(QueryTest, NaiveAndPrunedAgree) {
+  auto& symbols = db_.kb().vocab().symbols();
+  const char* queries[] = {
+      "PERSON",
+      "(AND PERSON (AT-LEAST 1 thing-driven))",
+      "(FILLS maker Ferrari)",
+      "(AND CAR (ALL maker ITALIAN-COMPANY))",
+      "(ONE-OF Rocky GM)",
+  };
+  for (const char* q : queries) {
+    auto query = ParseQueryString(q, &symbols);
+    ASSERT_TRUE(query.ok());
+    auto pruned = Retrieve(db_.kb(), *query);
+    auto naive = RetrieveNaive(db_.kb(), *query);
+    ASSERT_TRUE(pruned.ok() && naive.ok());
+    EXPECT_EQ(pruned->answers, naive->answers) << q;
+  }
+}
+
+TEST_F(QueryTest, AskDescriptionOfNamedConceptReflectsRules) {
+  Must(db_.DefineConcept("JUNK-FOOD", "(PRIMITIVE CLASSIC-THING junk)"));
+  Must(db_.DefineRole("eat"));
+  Must(db_.AssertRule("STUDENT", "(ALL eat JUNK-FOOD)"));
+  std::string d = Must(db_.AskDescription("(AND STUDENT (ALL eat ?:THING))"));
+  EXPECT_NE(d.find("junk"), std::string::npos) << d;
+}
+
+TEST_F(QueryTest, AskDescriptionOfSingletonCarriesIndividualState) {
+  // (ONE-OF F40): the answer description includes what we know of F40.
+  std::string d = Must(db_.AskDescription(
+      "(AND (ONE-OF F40) (ALL maker ?:THING))"));
+  // F40's maker is Ferrari; maker role on F40 isn't closed though, so the
+  // marked description comes from the value restriction only. Assert
+  // closure and try again.
+  Must(db_.AssertInd("F40", "(CLOSE maker)"));
+  d = Must(db_.AskDescription("(AND (ONE-OF F40) (ALL maker ?:THING))"));
+  EXPECT_NE(d.find("italian"), std::string::npos) << d;
+}
+
+TEST_F(QueryTest, AskDescriptionUnmarkedClosesOverRules) {
+  Must(db_.DefineConcept("A", "(PRIMITIVE CLASSIC-THING aaa)"));
+  Must(db_.DefineConcept("B", "(PRIMITIVE CLASSIC-THING bbb)"));
+  Must(db_.AssertRule("A", "B"));
+  auto full = Must(db_.AskDescriptionFull("A"));
+  // Every possible A is necessarily a B.
+  bool has_b = false;
+  for (const auto& n : full.msc_names) has_b |= (n == "B");
+  (void)has_b;  // msc may collapse to A (B is implied); check description.
+  EXPECT_NE(full.description->ToString(db_.kb().vocab().symbols())
+                .find("bbb"),
+            std::string::npos);
+}
+
+TEST_F(QueryTest, SummarizeExtensionFindsCommonStructure) {
+  // Both known drivers are PERSONs with at least one thing-driven; the
+  // summary of the extension must say so.
+  auto& symbols = db_.kb().vocab().symbols();
+  auto q = ParseQueryString("(AT-LEAST 1 thing-driven)", &symbols);
+  ASSERT_TRUE(q.ok());
+  auto sum = SummarizeExtension(db_.kb(), *q);
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  std::string d = sum->description->ToString(symbols);
+  EXPECT_NE(d.find("person"), std::string::npos) << d;
+  EXPECT_NE(d.find("(AT-LEAST 1 thing-driven)"), std::string::npos) << d;
+  // PERSON appears among the most specific named subsumers.
+  bool has_person = false;
+  for (const auto& n : sum->msc_names) has_person |= (n == "PERSON");
+  EXPECT_TRUE(has_person);
+}
+
+TEST_F(QueryTest, SummarizeEmptyExtensionIsNothing) {
+  auto& symbols = db_.kb().vocab().symbols();
+  auto q = ParseQueryString("(AT-LEAST 9 thing-driven)", &symbols);
+  ASSERT_TRUE(q.ok());
+  auto sum = SummarizeExtension(db_.kb(), *q);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_TRUE(sum->normal_form->incoherent());
+  EXPECT_EQ(sum->description->ToString(symbols), "NOTHING");
+}
+
+TEST_F(QueryTest, SummarySubsumesEveryAnswer) {
+  auto& symbols = db_.kb().vocab().symbols();
+  auto q = ParseQueryString("PERSON", &symbols);
+  ASSERT_TRUE(q.ok());
+  auto sum = SummarizeExtension(db_.kb(), *q);
+  auto answers = Retrieve(db_.kb(), *q);
+  ASSERT_TRUE(sum.ok() && answers.ok());
+  for (IndId i : answers->answers) {
+    EXPECT_TRUE(db_.kb().Satisfies(i, *sum->normal_form))
+        << db_.kb().vocab().IndividualName(i);
+  }
+}
+
+TEST_F(QueryTest, RetrievalStatsPruneVsNaive) {
+  auto& symbols = db_.kb().vocab().symbols();
+  auto query = ParseQueryString("(AND STUDENT (AT-LEAST 1 thing-driven))",
+                                &symbols);
+  ASSERT_TRUE(query.ok());
+  auto pruned = Retrieve(db_.kb(), *query);
+  auto naive = RetrieveNaive(db_.kb(), *query);
+  ASSERT_TRUE(pruned.ok() && naive.ok());
+  EXPECT_LT(pruned->stats.candidates_tested, naive->stats.candidates_tested);
+}
+
+}  // namespace
+}  // namespace classic

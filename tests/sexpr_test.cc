@@ -1,0 +1,152 @@
+// Unit tests for the s-expression reader/printer.
+
+#include <gtest/gtest.h>
+
+#include "sexpr/sexpr.h"
+
+namespace classic::sexpr {
+namespace {
+
+TEST(SexprTest, ParsesSymbol) {
+  auto v = Parse("STUDENT");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsSymbolNamed("STUDENT"));
+}
+
+TEST(SexprTest, ParsesHyphenatedSymbol) {
+  auto v = Parse("thing-driven");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsSymbolNamed("thing-driven"));
+}
+
+TEST(SexprTest, ParsesInteger) {
+  auto v = Parse("42");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->IsInteger());
+  EXPECT_EQ(v->integer(), 42);
+}
+
+TEST(SexprTest, ParsesNegativeInteger) {
+  auto v = Parse("-17");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->IsInteger());
+  EXPECT_EQ(v->integer(), -17);
+}
+
+TEST(SexprTest, ParsesReal) {
+  auto v = Parse("3.25");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->IsReal());
+  EXPECT_DOUBLE_EQ(v->real(), 3.25);
+}
+
+TEST(SexprTest, LeadingSignAloneIsSymbol) {
+  auto v = Parse("-");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsSymbolNamed("-"));
+}
+
+TEST(SexprTest, ParsesString) {
+  auto v = Parse("\"hello world\"");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->IsString());
+  EXPECT_EQ(v->text(), "hello world");
+}
+
+TEST(SexprTest, StringEscapes) {
+  auto v = Parse(R"("a\"b\\c\nd")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->text(), "a\"b\\c\nd");
+}
+
+TEST(SexprTest, ParsesNestedList) {
+  auto v = Parse("(AND STUDENT (ALL thing-driven SPORTS-CAR))");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->IsList());
+  ASSERT_EQ(v->size(), 3u);
+  EXPECT_TRUE(v->HasHead("AND"));
+  EXPECT_TRUE(v->at(2).HasHead("ALL"));
+  EXPECT_TRUE(v->at(2).at(2).IsSymbolNamed("SPORTS-CAR"));
+}
+
+TEST(SexprTest, CommentsAndWhitespace) {
+  auto v = Parse("; leading comment\n  ( AT-LEAST ; inline\n 2 wheel )  ");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->HasHead("AT-LEAST"));
+  EXPECT_EQ(v->at(1).integer(), 2);
+}
+
+TEST(SexprTest, MarkerTokenSplitsBeforeParen) {
+  // "?:(" must tokenize as the symbol "?:" followed by a list.
+  auto v = Parse("(ALL maker ?:(ONE-OF Ferrari))");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 4u);
+  EXPECT_TRUE(v->at(2).IsSymbolNamed("?:"));
+  EXPECT_TRUE(v->at(3).HasHead("ONE-OF"));
+}
+
+TEST(SexprTest, MarkerAttachedToSymbol) {
+  auto v = Parse("?:PERSON");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsSymbolNamed("?:PERSON"));
+}
+
+TEST(SexprTest, RejectsUnterminatedList) {
+  EXPECT_FALSE(Parse("(AND STUDENT").ok());
+}
+
+TEST(SexprTest, RejectsStrayParen) { EXPECT_FALSE(Parse(")").ok()); }
+
+TEST(SexprTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("(ONE-OF a) extra").ok());
+}
+
+TEST(SexprTest, RejectsEmptyInput) { EXPECT_FALSE(Parse("  ; only\n").ok()); }
+
+TEST(SexprTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Parse("\"abc").ok());
+}
+
+TEST(SexprTest, ParseAllReadsProgram) {
+  auto vs = ParseAll("(define-role r)\n; comment\n(create-ind Rocky)\n");
+  ASSERT_TRUE(vs.ok());
+  ASSERT_EQ(vs->size(), 2u);
+  EXPECT_TRUE((*vs)[0].HasHead("define-role"));
+  EXPECT_TRUE((*vs)[1].HasHead("create-ind"));
+}
+
+TEST(SexprTest, RoundTripPrinting) {
+  const std::string src =
+      "(AND STUDENT (ALL thing-driven (AND SPORTS-CAR (ALL maker "
+      "(ONE-OF Ferrari)))) (AT-LEAST 1 thing-driven) (AT-MOST 2 "
+      "thing-driven))";
+  auto v = Parse(src);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToString(), src);
+}
+
+TEST(SexprTest, RoundTripStringsAndNumbers) {
+  const std::string src = "(FILLS age 17 \"hi \\\"x\\\"\" 2.5)";
+  auto v = Parse(src);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToString(), src);
+}
+
+TEST(SexprTest, EqualityIsStructural) {
+  auto a = Parse("(AND A (ALL r B))");
+  auto b = Parse("( AND  A ( ALL r B ) )");
+  auto c = Parse("(AND A (ALL r C))");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+}
+
+TEST(SexprTest, EmptyListParses) {
+  auto v = Parse("()");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsList());
+  EXPECT_EQ(v->size(), 0u);
+}
+
+}  // namespace
+}  // namespace classic::sexpr

@@ -1,0 +1,199 @@
+// Tests for persistence: the operation log, snapshots, and recovery.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "classic/database.h"
+#include "classic/interpreter.h"
+#include "storage/log.h"
+#include "storage/snapshot.h"
+
+namespace classic {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void Must(const Status& st) { ASSERT_TRUE(st.ok()) << st.ToString(); }
+  template <typename T>
+  T Must(Result<T> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).ValueOrDie();
+  }
+
+  void BuildSampleDb(Database* db) {
+    Must(db->DefineRole("enrolled-at"));
+    Must(db->DefineAttribute("advisor"));
+    Must(db->DefineConcept("PERSON", "(PRIMITIVE CLASSIC-THING person)"));
+    Must(db->DefineConcept("STUDENT",
+                           "(AND PERSON (AT-LEAST 1 enrolled-at))"));
+    Must(db->AssertRule("STUDENT", "(AT-LEAST 1 advisor)"));
+    Must(db->CreateIndividual("Rutgers"));
+    Must(db->CreateIndividual("Rocky", "PERSON"));
+    Must(db->AssertInd("Rocky", "(FILLS enrolled-at Rutgers)"));
+  }
+};
+
+TEST_F(StorageTest, OperationLogRoundTrip) {
+  std::string path = TempPath("classic_log_test.log");
+  std::remove(path.c_str());
+  {
+    storage::OperationLog log;
+    Must(log.Open(path));
+    Must(log.AppendLine("(define-role r)"));
+    Must(log.AppendLine("(create-ind Rocky)"));
+  }
+  auto ops = Must(storage::ReadOperations(path));
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(ops[0].HasHead("define-role"));
+  EXPECT_TRUE(ops[1].HasHead("create-ind"));
+  std::remove(path.c_str());
+}
+
+TEST_F(StorageTest, AppendWithoutOpenFails) {
+  storage::OperationLog log;
+  EXPECT_TRUE(log.AppendLine("(x)").IsIOError());
+}
+
+TEST_F(StorageTest, ReadMissingFileFails) {
+  EXPECT_TRUE(
+      storage::ReadOperations("/nonexistent/x.log").status().IsIOError());
+}
+
+TEST_F(StorageTest, SnapshotCapturesBase) {
+  Database db;
+  BuildSampleDb(&db);
+  std::string dump = storage::DumpDatabase(db.kb());
+  EXPECT_NE(dump.find("(define-role enrolled-at)"), std::string::npos);
+  EXPECT_NE(dump.find("(define-attribute advisor)"), std::string::npos);
+  EXPECT_NE(dump.find("(define-concept STUDENT"), std::string::npos);
+  EXPECT_NE(dump.find("(assert-rule STUDENT"), std::string::npos);
+  EXPECT_NE(dump.find("(create-ind Rocky)"), std::string::npos);
+  EXPECT_NE(dump.find("(assert-ind Rocky (FILLS enrolled-at Rutgers))"),
+            std::string::npos);
+  // Derived facts (advisor from the rule) are NOT in the snapshot; they
+  // are recomputed on replay.
+  EXPECT_EQ(dump.find("(assert-ind Rocky (AT-LEAST 1 advisor))"),
+            std::string::npos);
+}
+
+TEST_F(StorageTest, SnapshotRestoresFullState) {
+  std::string path = TempPath("classic_snapshot_test.snap");
+  Database db;
+  BuildSampleDb(&db);
+  Must(db.SaveSnapshot(path));
+
+  Database restored;
+  Must(restored.LoadFile(path));
+  // Recognition and rules re-derived.
+  auto students = Must(restored.Ask("STUDENT"));
+  ASSERT_EQ(students.size(), 1u);
+  EXPECT_EQ(students[0], "Rocky");
+  std::string rocky = Must(restored.DescribeIndividual("Rocky"));
+  EXPECT_NE(rocky.find("advisor"), std::string::npos) << rocky;
+  std::remove(path.c_str());
+}
+
+TEST_F(StorageTest, OperationLogRecovery) {
+  std::string path = TempPath("classic_wal_test.log");
+  std::remove(path.c_str());
+  {
+    Database db;
+    Must(db.OpenLog(path));
+    BuildSampleDb(&db);
+    // A rejected update must NOT be logged.
+    EXPECT_FALSE(db.AssertInd("Rocky", "(AT-MOST 0 enrolled-at)").ok());
+  }
+  Database recovered;
+  Must(recovered.LoadFile(path));
+  EXPECT_EQ(Must(recovered.Ask("STUDENT")).size(), 1u);
+  // The rejected op is absent, so the state is consistent.
+  EXPECT_EQ(Must(recovered.Fillers("Rocky", "enrolled-at")).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(StorageTest, SnapshotOfRestoredDbIsStable) {
+  // snapshot(restore(snapshot(db))) == snapshot(db): a fixpoint.
+  std::string p1 = TempPath("classic_snap1.snap");
+  Database db;
+  BuildSampleDb(&db);
+  Must(db.SaveSnapshot(p1));
+  Database again;
+  Must(again.LoadFile(p1));
+  std::string d1 = storage::DumpDatabase(db.kb());
+  std::string d2 = storage::DumpDatabase(again.kb());
+  EXPECT_EQ(d1, d2);
+  std::remove(p1.c_str());
+}
+
+TEST_F(StorageTest, CloseSurvivesReplay) {
+  std::string path = TempPath("classic_close_replay.snap");
+  Database db;
+  Must(db.DefineRole("r"));
+  Must(db.CreateIndividual("A"));
+  Must(db.CreateIndividual("B"));
+  Must(db.AssertInd("A", "(FILLS r B)"));
+  Must(db.AssertInd("A", "(CLOSE r)"));
+  Must(db.SaveSnapshot(path));
+  Database restored;
+  Must(restored.LoadFile(path));
+  EXPECT_TRUE(Must(restored.RoleClosed("A", "r")));
+  // Replay preserved the CLOSE-after-FILLS ordering: one filler, bound 1.
+  EXPECT_EQ(Must(restored.Fillers("A", "r")).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(StorageTest, CheckpointTruncatesLogAndStaysRecoverable) {
+  std::string log_path = TempPath("classic_ckpt.log");
+  std::string snap_path = TempPath("classic_ckpt.snap");
+  std::remove(log_path.c_str());
+  {
+    Database db;
+    Must(db.OpenLog(log_path));
+    BuildSampleDb(&db);
+    Must(db.Checkpoint(snap_path));
+    // After the checkpoint the log is empty...
+    auto ops = Must(storage::ReadOperations(log_path));
+    EXPECT_EQ(ops.size(), 0u);
+    // ...and new operations land in it.
+    Must(db.CreateIndividual("PostCkpt"));
+    ops = Must(storage::ReadOperations(log_path));
+    EXPECT_EQ(ops.size(), 1u);
+  }
+  // Recovery: snapshot, then the tail log.
+  Database recovered;
+  Must(recovered.LoadFile(snap_path));
+  Must(recovered.LoadFile(log_path));
+  EXPECT_EQ(Must(recovered.Ask("STUDENT")).size(), 1u);
+  EXPECT_TRUE(recovered.FindIndividual("PostCkpt").ok());
+  std::remove(log_path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST_F(StorageTest, CheckpointWithoutLogIsAnError) {
+  Database db;
+  EXPECT_TRUE(
+      db.Checkpoint(TempPath("classic_nolog.snap")).IsInvalidArgument());
+}
+
+TEST_F(StorageTest, ReplayFailureReportsOffendingOp) {
+  std::string path = TempPath("classic_bad_replay.log");
+  {
+    std::ofstream out(path);
+    out << "(define-role r)\n(assert-ind Ghost (AT-LEAST 1 r))\n";
+  }
+  Database db;
+  Status st = db.LoadFile(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("Ghost"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace classic

@@ -1,0 +1,198 @@
+// Unit tests for structural subsumption (the core inference).
+
+#include <gtest/gtest.h>
+
+#include "desc/normalize.h"
+#include "desc/parser.h"
+#include "subsume/subsume.h"
+
+namespace classic {
+namespace {
+
+class SubsumeTest : public ::testing::Test {
+ protected:
+  SubsumeTest() : norm_(&vocab_) {
+    EXPECT_TRUE(vocab_.DefineRole("r").ok());
+    EXPECT_TRUE(vocab_.DefineRole("s").ok());
+    EXPECT_TRUE(vocab_.DefineRole("a", true).ok());
+    EXPECT_TRUE(vocab_.DefineRole("b", true).ok());
+    EXPECT_TRUE(vocab_.DefineRole("c", true).ok());
+    EXPECT_TRUE(vocab_.CreateIndividual("X").ok());
+    EXPECT_TRUE(vocab_.CreateIndividual("Y").ok());
+    EXPECT_TRUE(vocab_.CreateIndividual("Z").ok());
+    EXPECT_TRUE(
+        vocab_.RegisterTest("t1", [](const TestArg&) { return true; }).ok());
+    EXPECT_TRUE(
+        vocab_.RegisterTest("t2", [](const TestArg&) { return true; }).ok());
+  }
+
+  NormalFormPtr NF(const std::string& text) {
+    auto d = ParseDescriptionString(text, &vocab_.symbols());
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    auto nf = norm_.NormalizeConcept(*d);
+    EXPECT_TRUE(nf.ok()) << nf.status().ToString();
+    return *nf;
+  }
+
+  bool Sub(const std::string& general, const std::string& specific) {
+    return Subsumes(*NF(general), *NF(specific));
+  }
+  bool Eq(const std::string& x, const std::string& y) {
+    return Equivalent(*NF(x), *NF(y));
+  }
+
+  Vocabulary vocab_;
+  Normalizer norm_;
+};
+
+TEST_F(SubsumeTest, ThingSubsumesEverything) {
+  EXPECT_TRUE(Sub("THING", "THING"));
+  EXPECT_TRUE(Sub("THING", "(PRIMITIVE CLASSIC-THING car)"));
+  EXPECT_TRUE(Sub("THING", "(AND (AT-LEAST 1 r) (AT-MOST 1 r))"));
+  EXPECT_FALSE(Sub("(AT-LEAST 1 r)", "THING"));
+}
+
+TEST_F(SubsumeTest, BottomIsSubsumedByEverything) {
+  const char* bottom = "(AND (AT-LEAST 1 r) (AT-MOST 0 r))";
+  EXPECT_TRUE(Sub("(PRIMITIVE CLASSIC-THING p)", bottom));
+  EXPECT_FALSE(Sub(bottom, "THING"));
+  EXPECT_TRUE(Sub(bottom, bottom));
+}
+
+TEST_F(SubsumeTest, PrimitiveRequiresAtom) {
+  EXPECT_TRUE(Sub("(PRIMITIVE CLASSIC-THING car)",
+                  "(AND (PRIMITIVE CLASSIC-THING car) (AT-LEAST 3 r))"));
+  EXPECT_FALSE(Sub("(PRIMITIVE CLASSIC-THING car)",
+                   "(PRIMITIVE CLASSIC-THING truck)"));
+}
+
+TEST_F(SubsumeTest, PrimitiveParentIsNecessary) {
+  // SPORTS-CAR-ish (primitive under car-prim) is subsumed by car-prim.
+  EXPECT_TRUE(Sub("(PRIMITIVE CLASSIC-THING car)",
+                  "(PRIMITIVE (PRIMITIVE CLASSIC-THING car) sports-car)"));
+  EXPECT_FALSE(Sub("(PRIMITIVE (PRIMITIVE CLASSIC-THING car) sports-car)",
+                   "(PRIMITIVE CLASSIC-THING car)"));
+}
+
+TEST_F(SubsumeTest, CardinalityDirections) {
+  EXPECT_TRUE(Sub("(AT-LEAST 1 r)", "(AT-LEAST 2 r)"));
+  EXPECT_FALSE(Sub("(AT-LEAST 2 r)", "(AT-LEAST 1 r)"));
+  EXPECT_TRUE(Sub("(AT-MOST 5 r)", "(AT-MOST 3 r)"));
+  EXPECT_FALSE(Sub("(AT-MOST 3 r)", "(AT-MOST 5 r)"));
+}
+
+TEST_F(SubsumeTest, AllIsCovariant) {
+  EXPECT_TRUE(Sub("(ALL r (PRIMITIVE CLASSIC-THING car))",
+                  "(ALL r (PRIMITIVE (PRIMITIVE CLASSIC-THING car) sc))"));
+  EXPECT_FALSE(Sub("(ALL r (PRIMITIVE (PRIMITIVE CLASSIC-THING car) sc))",
+                   "(ALL r (PRIMITIVE CLASSIC-THING car))"));
+}
+
+TEST_F(SubsumeTest, AllVacuousWhenNoFillersPossible) {
+  // (AT-MOST 0 r) entails (ALL r C) for any C.
+  EXPECT_TRUE(
+      Sub("(ALL r (PRIMITIVE CLASSIC-THING car))", "(AT-MOST 0 r)"));
+}
+
+TEST_F(SubsumeTest, FillsIsMonotone) {
+  EXPECT_TRUE(Sub("(FILLS r X)", "(FILLS r X Y)"));
+  EXPECT_FALSE(Sub("(FILLS r X Y)", "(FILLS r X)"));
+}
+
+TEST_F(SubsumeTest, FillsEntailsAtLeast) {
+  EXPECT_TRUE(Sub("(AT-LEAST 2 r)", "(FILLS r X Y)"));
+  EXPECT_FALSE(Sub("(AT-LEAST 3 r)", "(FILLS r X Y)"));
+}
+
+TEST_F(SubsumeTest, EnumerationSubsetting) {
+  EXPECT_TRUE(Sub("(ONE-OF X Y Z)", "(ONE-OF X Y)"));
+  EXPECT_FALSE(Sub("(ONE-OF X Y)", "(ONE-OF X Y Z)"));
+  EXPECT_FALSE(Sub("(ONE-OF X Y)", "(PRIMITIVE CLASSIC-THING car)"));
+}
+
+TEST_F(SubsumeTest, TestsCompareByName) {
+  EXPECT_TRUE(Sub("(TEST t1)", "(AND (TEST t1) (TEST t2))"));
+  EXPECT_FALSE(Sub("(TEST t1)", "(TEST t2)"));
+  EXPECT_TRUE(Eq("(TEST t1)", "(AND (TEST t1) (TEST t1))"));
+}
+
+TEST_F(SubsumeTest, BuiltinHierarchy) {
+  EXPECT_TRUE(Sub("NUMBER", "INTEGER"));
+  EXPECT_TRUE(Sub("HOST-THING", "STRING"));
+  EXPECT_FALSE(Sub("INTEGER", "NUMBER"));
+  EXPECT_TRUE(Sub("HOST-THING", "(ONE-OF 1 2)"));
+  EXPECT_TRUE(Sub("INTEGER", "(ONE-OF 1 2)"));
+  EXPECT_FALSE(Sub("INTEGER", "(ONE-OF 1 \"x\")"));
+}
+
+TEST_F(SubsumeTest, PaperEquivalenceAllOverAnd) {
+  EXPECT_TRUE(Eq("(AND (ALL r (PRIMITIVE CLASSIC-THING car)) "
+                 "(ALL r (PRIMITIVE CLASSIC-THING expensive)))",
+                 "(ALL r (AND (PRIMITIVE CLASSIC-THING car) "
+                 "(PRIMITIVE CLASSIC-THING expensive)))"));
+}
+
+TEST_F(SubsumeTest, PaperEquivalenceEnumerations) {
+  EXPECT_TRUE(Eq("(ALL r (AND (ONE-OF X Y) (ONE-OF Y Z)))",
+                 "(AND (ALL r (ONE-OF Y)) (AT-MOST 1 r))"));
+}
+
+TEST_F(SubsumeTest, ExactlyOneMacroEquivalence) {
+  EXPECT_TRUE(Eq("(EXACTLY-ONE r)", "(AND (AT-LEAST 1 r) (AT-MOST 1 r))"));
+}
+
+TEST_F(SubsumeTest, SameAsEntailment) {
+  // Equating (a)(b) and (b)(c) entails (a)(c).
+  EXPECT_TRUE(Sub("(SAME-AS (a) (c))",
+                  "(AND (SAME-AS (a) (b)) (SAME-AS (b) (c)))"));
+  EXPECT_FALSE(Sub("(AND (SAME-AS (a) (b)) (SAME-AS (b) (c)))",
+                   "(SAME-AS (a) (c))"));
+}
+
+TEST_F(SubsumeTest, SameAsCongruence) {
+  // a == b entails a.c == b.c.
+  EXPECT_TRUE(Sub("(SAME-AS (a c) (b c))", "(SAME-AS (a) (b))"));
+  EXPECT_FALSE(Sub("(SAME-AS (a) (b))", "(SAME-AS (a c) (b c))"));
+}
+
+TEST_F(SubsumeTest, SameAsReflexivityIsTrivial) {
+  EXPECT_TRUE(Sub("(SAME-AS (a) (a))", "THING"));
+}
+
+TEST_F(SubsumeTest, SubsumptionIsReflexiveAndTransitive) {
+  const char* exprs[] = {
+      "THING",
+      "(PRIMITIVE CLASSIC-THING p)",
+      "(AND (PRIMITIVE CLASSIC-THING p) (AT-LEAST 1 r))",
+      "(AND (PRIMITIVE CLASSIC-THING p) (AT-LEAST 2 r) "
+      "(ALL r (PRIMITIVE CLASSIC-THING q)))",
+  };
+  for (const char* e : exprs) EXPECT_TRUE(Sub(e, e)) << e;
+  // chain: exprs[i] subsumes exprs[i+1]
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(Sub(exprs[i], exprs[i + 1]));
+  }
+  EXPECT_TRUE(Sub(exprs[0], exprs[3]));
+  EXPECT_TRUE(Sub(exprs[1], exprs[3]));
+}
+
+TEST_F(SubsumeTest, DisjointnessDetection) {
+  EXPECT_TRUE(Disjoint(
+      *NF("(DISJOINT-PRIMITIVE CLASSIC-THING g m)"),
+      *NF("(DISJOINT-PRIMITIVE CLASSIC-THING g f)"), vocab_));
+  EXPECT_TRUE(Disjoint(*NF("(ONE-OF X)"), *NF("(ONE-OF Y)"), vocab_));
+  EXPECT_TRUE(Disjoint(*NF("(AT-LEAST 2 r)"), *NF("(AT-MOST 1 r)"), vocab_));
+  EXPECT_FALSE(
+      Disjoint(*NF("(AT-LEAST 1 r)"), *NF("(AT-MOST 1 r)"), vocab_));
+  EXPECT_TRUE(Disjoint(*NF("INTEGER"), *NF("CLASSIC-THING"), vocab_));
+}
+
+TEST_F(SubsumeTest, ClosedDerivedStateSubsumption) {
+  // general: closed role with exactly X; specific: FILLS X + AT-MOST 1.
+  EXPECT_TRUE(Sub("(AND (FILLS r X) (AT-MOST 1 r))",
+                  "(AND (FILLS r X) (AT-MOST 1 r))"));
+  EXPECT_TRUE(Sub("(AT-MOST 1 r)", "(AND (FILLS r X) (AT-MOST 1 r))"));
+}
+
+}  // namespace
+}  // namespace classic

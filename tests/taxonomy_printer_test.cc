@@ -1,0 +1,77 @@
+// Tests for the IS-A hierarchy renderings.
+
+#include <gtest/gtest.h>
+
+#include "classic/database.h"
+#include "classic/interpreter.h"
+#include "query/taxonomy_printer.h"
+
+namespace classic {
+namespace {
+
+class TaxonomyPrinterTest : public ::testing::Test {
+ protected:
+  void Must(const Status& st) { ASSERT_TRUE(st.ok()) << st.ToString(); }
+
+  void SetUp() override {
+    Must(db_.DefineRole("r"));
+    Must(db_.DefineConcept("ANIMAL", "(PRIMITIVE CLASSIC-THING animal)"));
+    Must(db_.DefineConcept("PET", "(PRIMITIVE CLASSIC-THING pet)"));
+    Must(db_.DefineConcept("DOG", "(PRIMITIVE (AND ANIMAL PET) dog)"));
+    Must(db_.DefineConcept("ONE-R", "(EXACTLY-ONE r)"));
+    Must(db_.DefineConcept("SINGLE-R", "(AND (AT-LEAST 1 r) (AT-MOST 1 r))"));
+    Must(db_.CreateIndividual("Rex", "DOG"));
+  }
+
+  Database db_;
+};
+
+TEST_F(TaxonomyPrinterTest, TreeShowsHierarchy) {
+  std::string tree = RenderTaxonomyTree(db_.kb());
+  // THING root, then root concepts, DOG nested under both parents (the
+  // second occurrence carries the revisit marker).
+  EXPECT_NE(tree.find("THING\n"), std::string::npos);
+  EXPECT_NE(tree.find("  ANIMAL"), std::string::npos);
+  EXPECT_NE(tree.find("    DOG"), std::string::npos);
+  EXPECT_NE(tree.find("^"), std::string::npos) << tree;
+}
+
+TEST_F(TaxonomyPrinterTest, SynonymsShareALine) {
+  std::string tree = RenderTaxonomyTree(db_.kb());
+  EXPECT_NE(tree.find("ONE-R = SINGLE-R"), std::string::npos) << tree;
+}
+
+TEST_F(TaxonomyPrinterTest, InstanceCounts) {
+  std::string tree = RenderTaxonomyTree(db_.kb(), true);
+  EXPECT_NE(tree.find("DOG  [1]"), std::string::npos) << tree;
+  std::string bare = RenderTaxonomyTree(db_.kb(), false);
+  EXPECT_EQ(bare.find("[1]"), std::string::npos);
+}
+
+TEST_F(TaxonomyPrinterTest, DotOutputIsWellFormed) {
+  std::string dot = RenderTaxonomyDot(db_.kb());
+  EXPECT_EQ(dot.find("digraph taxonomy {"), 0u);
+  EXPECT_NE(dot.find("label=\"DOG\""), std::string::npos);
+  EXPECT_NE(dot.find("-> thing;"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // Each node appears exactly once as a declaration.
+  size_t count = 0;
+  for (size_t pos = dot.find("label=\"ANIMAL\""); pos != std::string::npos;
+       pos = dot.find("label=\"ANIMAL\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(TaxonomyPrinterTest, InterpreterOps) {
+  Interpreter interp(&db_);
+  auto tree = interp.ExecuteString("(taxonomy)");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NE(tree->find("DOG"), std::string::npos);
+  auto dot = interp.ExecuteString("(taxonomy-dot)");
+  ASSERT_TRUE(dot.ok());
+  EXPECT_NE(dot->find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace classic
