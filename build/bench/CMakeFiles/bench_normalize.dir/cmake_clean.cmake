@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_normalize.dir/bench_normalize.cc.o"
+  "CMakeFiles/bench_normalize.dir/bench_normalize.cc.o.d"
+  "bench_normalize"
+  "bench_normalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_normalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_bench_workload.dir/workload.cc.o"
+  "CMakeFiles/classic_bench_workload.dir/workload.cc.o.d"
+  "libclassic_bench_workload.a"
+  "libclassic_bench_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_bench_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

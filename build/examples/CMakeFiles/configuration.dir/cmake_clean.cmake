@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configuration.dir/configuration.cpp.o"
+  "CMakeFiles/configuration.dir/configuration.cpp.o.d"
+  "configuration"
+  "configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_kb.dir/crime_kb.cpp.o"
+  "CMakeFiles/crime_kb.dir/crime_kb.cpp.o.d"
+  "crime_kb"
+  "crime_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_kb.dir/software_kb.cpp.o"
+  "CMakeFiles/software_kb.dir/software_kb.cpp.o.d"
+  "software_kb"
+  "software_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_api.dir/database.cc.o"
+  "CMakeFiles/classic_api.dir/database.cc.o.d"
+  "CMakeFiles/classic_api.dir/interpreter.cc.o"
+  "CMakeFiles/classic_api.dir/interpreter.cc.o.d"
+  "libclassic_api.a"
+  "libclassic_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

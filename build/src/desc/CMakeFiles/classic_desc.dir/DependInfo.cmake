@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/desc/coref.cc" "src/desc/CMakeFiles/classic_desc.dir/coref.cc.o" "gcc" "src/desc/CMakeFiles/classic_desc.dir/coref.cc.o.d"
+  "/root/repo/src/desc/description.cc" "src/desc/CMakeFiles/classic_desc.dir/description.cc.o" "gcc" "src/desc/CMakeFiles/classic_desc.dir/description.cc.o.d"
+  "/root/repo/src/desc/host_value.cc" "src/desc/CMakeFiles/classic_desc.dir/host_value.cc.o" "gcc" "src/desc/CMakeFiles/classic_desc.dir/host_value.cc.o.d"
+  "/root/repo/src/desc/normal_form.cc" "src/desc/CMakeFiles/classic_desc.dir/normal_form.cc.o" "gcc" "src/desc/CMakeFiles/classic_desc.dir/normal_form.cc.o.d"
+  "/root/repo/src/desc/normalize.cc" "src/desc/CMakeFiles/classic_desc.dir/normalize.cc.o" "gcc" "src/desc/CMakeFiles/classic_desc.dir/normalize.cc.o.d"
+  "/root/repo/src/desc/parser.cc" "src/desc/CMakeFiles/classic_desc.dir/parser.cc.o" "gcc" "src/desc/CMakeFiles/classic_desc.dir/parser.cc.o.d"
+  "/root/repo/src/desc/vocabulary.cc" "src/desc/CMakeFiles/classic_desc.dir/vocabulary.cc.o" "gcc" "src/desc/CMakeFiles/classic_desc.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/classic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/classic_sexpr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_desc.dir/coref.cc.o"
+  "CMakeFiles/classic_desc.dir/coref.cc.o.d"
+  "CMakeFiles/classic_desc.dir/description.cc.o"
+  "CMakeFiles/classic_desc.dir/description.cc.o.d"
+  "CMakeFiles/classic_desc.dir/host_value.cc.o"
+  "CMakeFiles/classic_desc.dir/host_value.cc.o.d"
+  "CMakeFiles/classic_desc.dir/normal_form.cc.o"
+  "CMakeFiles/classic_desc.dir/normal_form.cc.o.d"
+  "CMakeFiles/classic_desc.dir/normalize.cc.o"
+  "CMakeFiles/classic_desc.dir/normalize.cc.o.d"
+  "CMakeFiles/classic_desc.dir/parser.cc.o"
+  "CMakeFiles/classic_desc.dir/parser.cc.o.d"
+  "CMakeFiles/classic_desc.dir/vocabulary.cc.o"
+  "CMakeFiles/classic_desc.dir/vocabulary.cc.o.d"
+  "libclassic_desc.a"
+  "libclassic_desc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_desc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_host.dir/standard_tests.cc.o"
+  "CMakeFiles/classic_host.dir/standard_tests.cc.o.d"
+  "libclassic_host.a"
+  "libclassic_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_kb.dir/explain.cc.o"
+  "CMakeFiles/classic_kb.dir/explain.cc.o.d"
+  "CMakeFiles/classic_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/classic_kb.dir/knowledge_base.cc.o.d"
+  "libclassic_kb.a"
+  "libclassic_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

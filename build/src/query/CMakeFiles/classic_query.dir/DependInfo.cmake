@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/describe.cc" "src/query/CMakeFiles/classic_query.dir/describe.cc.o" "gcc" "src/query/CMakeFiles/classic_query.dir/describe.cc.o.d"
+  "/root/repo/src/query/introspect.cc" "src/query/CMakeFiles/classic_query.dir/introspect.cc.o" "gcc" "src/query/CMakeFiles/classic_query.dir/introspect.cc.o.d"
+  "/root/repo/src/query/path_query.cc" "src/query/CMakeFiles/classic_query.dir/path_query.cc.o" "gcc" "src/query/CMakeFiles/classic_query.dir/path_query.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/classic_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/classic_query.dir/query.cc.o.d"
+  "/root/repo/src/query/taxonomy_printer.cc" "src/query/CMakeFiles/classic_query.dir/taxonomy_printer.cc.o" "gcc" "src/query/CMakeFiles/classic_query.dir/taxonomy_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/classic_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/classic_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/subsume/CMakeFiles/classic_subsume.dir/DependInfo.cmake"
+  "/root/repo/build/src/desc/CMakeFiles/classic_desc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/classic_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/classic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_query.dir/describe.cc.o"
+  "CMakeFiles/classic_query.dir/describe.cc.o.d"
+  "CMakeFiles/classic_query.dir/introspect.cc.o"
+  "CMakeFiles/classic_query.dir/introspect.cc.o.d"
+  "CMakeFiles/classic_query.dir/path_query.cc.o"
+  "CMakeFiles/classic_query.dir/path_query.cc.o.d"
+  "CMakeFiles/classic_query.dir/query.cc.o"
+  "CMakeFiles/classic_query.dir/query.cc.o.d"
+  "CMakeFiles/classic_query.dir/taxonomy_printer.cc.o"
+  "CMakeFiles/classic_query.dir/taxonomy_printer.cc.o.d"
+  "libclassic_query.a"
+  "libclassic_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

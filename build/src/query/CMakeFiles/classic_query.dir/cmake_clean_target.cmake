@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclassic_query.a"
+)

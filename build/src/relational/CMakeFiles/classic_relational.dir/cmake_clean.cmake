@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_relational.dir/relational.cc.o"
+  "CMakeFiles/classic_relational.dir/relational.cc.o.d"
+  "libclassic_relational.a"
+  "libclassic_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_sexpr.dir/sexpr.cc.o"
+  "CMakeFiles/classic_sexpr.dir/sexpr.cc.o.d"
+  "libclassic_sexpr.a"
+  "libclassic_sexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_sexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

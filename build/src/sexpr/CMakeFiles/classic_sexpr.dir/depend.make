@@ -1,0 +1,2 @@
+# Empty dependencies file for classic_sexpr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_storage.dir/log.cc.o"
+  "CMakeFiles/classic_storage.dir/log.cc.o.d"
+  "CMakeFiles/classic_storage.dir/snapshot.cc.o"
+  "CMakeFiles/classic_storage.dir/snapshot.cc.o.d"
+  "libclassic_storage.a"
+  "libclassic_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_subsume.dir/subsume.cc.o"
+  "CMakeFiles/classic_subsume.dir/subsume.cc.o.d"
+  "libclassic_subsume.a"
+  "libclassic_subsume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_subsume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_taxonomy.dir/taxonomy.cc.o"
+  "CMakeFiles/classic_taxonomy.dir/taxonomy.cc.o.d"
+  "libclassic_taxonomy.a"
+  "libclassic_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_util.dir/intern.cc.o"
+  "CMakeFiles/classic_util.dir/intern.cc.o.d"
+  "CMakeFiles/classic_util.dir/status.cc.o"
+  "CMakeFiles/classic_util.dir/status.cc.o.d"
+  "CMakeFiles/classic_util.dir/string_util.cc.o"
+  "CMakeFiles/classic_util.dir/string_util.cc.o.d"
+  "libclassic_util.a"
+  "libclassic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_kb_test.dir/crime_kb_test.cc.o"
+  "CMakeFiles/crime_kb_test.dir/crime_kb_test.cc.o.d"
+  "crime_kb_test"
+  "crime_kb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_kb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

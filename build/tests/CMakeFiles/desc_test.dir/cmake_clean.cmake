@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desc_test.dir/desc_test.cc.o"
+  "CMakeFiles/desc_test.dir/desc_test.cc.o.d"
+  "desc_test"
+  "desc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

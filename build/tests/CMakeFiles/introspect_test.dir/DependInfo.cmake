@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/introspect_test.cc" "tests/CMakeFiles/introspect_test.dir/introspect_test.cc.o" "gcc" "tests/CMakeFiles/introspect_test.dir/introspect_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classic/CMakeFiles/classic_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/classic_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/classic_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/classic_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/classic_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/classic_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/classic_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/subsume/CMakeFiles/classic_subsume.dir/DependInfo.cmake"
+  "/root/repo/build/src/desc/CMakeFiles/classic_desc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/classic_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/classic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_query_test.dir/path_query_test.cc.o"
+  "CMakeFiles/path_query_test.dir/path_query_test.cc.o.d"
+  "path_query_test"
+  "path_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_kb_test.dir/property_kb_test.cc.o"
+  "CMakeFiles/property_kb_test.dir/property_kb_test.cc.o.d"
+  "property_kb_test"
+  "property_kb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_kb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

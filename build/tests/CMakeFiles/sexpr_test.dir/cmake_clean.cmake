@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sexpr_test.dir/sexpr_test.cc.o"
+  "CMakeFiles/sexpr_test.dir/sexpr_test.cc.o.d"
+  "sexpr_test"
+  "sexpr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsume_test.dir/subsume_test.cc.o"
+  "CMakeFiles/subsume_test.dir/subsume_test.cc.o.d"
+  "subsume_test"
+  "subsume_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

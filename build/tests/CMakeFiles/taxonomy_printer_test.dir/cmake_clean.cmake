@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxonomy_printer_test.dir/taxonomy_printer_test.cc.o"
+  "CMakeFiles/taxonomy_printer_test.dir/taxonomy_printer_test.cc.o.d"
+  "taxonomy_printer_test"
+  "taxonomy_printer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxonomy_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_scenario_test.dir/university_scenario_test.cc.o"
+  "CMakeFiles/university_scenario_test.dir/university_scenario_test.cc.o.d"
+  "university_scenario_test"
+  "university_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
