@@ -103,8 +103,8 @@ void RunInterningBench(benchmark::State& state, bool intern) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(n));
   if (intern) {
-    state.counters["pool_hits"] = static_cast<double>(norm.pool().hits());
-    state.counters["pool_size"] = static_cast<double>(norm.pool().size());
+    state.counters["store_hits"] = static_cast<double>(norm.store().hits());
+    state.counters["store_size"] = static_cast<double>(norm.store().size());
   }
 }
 

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs the core benchmark suite (subsumption, classification, assert) and
+# merges the results into one BENCH_core.json so the performance
+# trajectory is tracked across PRs. Usage:
+#
+#   bench/run_bench.sh [BUILD_DIR] [OUTPUT_JSON]
+#
+# or, after configuring: cmake --build build --target run_bench
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_core.json}"
+
+BENCHES=(bench_subsumption bench_classification bench_assert)
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for b in "${BENCHES[@]}"; do
+  exe="$BUILD_DIR/bench/$b"
+  if [[ ! -x "$exe" ]]; then
+    echo "error: $exe not built (run cmake --build $BUILD_DIR first)" >&2
+    exit 1
+  fi
+  echo "== $b" >&2
+  "$exe" --benchmark_format=json \
+         --benchmark_out="$tmpdir/$b.json" \
+         --benchmark_out_format=json >&2
+done
+
+python3 - "$OUT" "$tmpdir" "${BENCHES[@]}" <<'EOF'
+import json, sys
+
+out_path, tmpdir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {"suite": "core", "unit_note": "ns_per_op normalized to nanoseconds",
+          "benchmarks": []}
+scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+for b in benches:
+    with open(f"{tmpdir}/{b}.json") as f:
+        data = json.load(f)
+    ctx = data.get("context", {})
+    merged.setdefault("context", {
+        "host": ctx.get("host_name"),
+        "build_type": ctx.get("library_build_type"),
+        "cpu_mhz": ctx.get("mhz_per_cpu"),
+    })
+    for run in data["benchmarks"]:
+        if run.get("run_type") == "aggregate":
+            continue
+        merged["benchmarks"].append({
+            "suite": b,
+            "name": run["name"],
+            "ns_per_op": run["real_time"] * scale.get(run["time_unit"], 1.0),
+            "iterations": run["iterations"],
+            "counters": {k: v for k, v in run.items()
+                         if isinstance(v, (int, float)) and k not in
+                         ("real_time", "cpu_time", "iterations",
+                          "repetition_index", "family_index",
+                          "per_family_instance_index", "threads")},
+        })
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+EOF

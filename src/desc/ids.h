@@ -23,6 +23,15 @@ using ConceptId = uint32_t;
 
 inline constexpr uint32_t kNoId = std::numeric_limits<uint32_t>::max();
 
+/// Dense identifier of an interned (hash-consed) normal form within a
+/// NormalFormStore. Ids are never reused, so a cached fact about a pair
+/// of NfIds can never go stale.
+using NfId = uint32_t;
+
+/// "This form was never interned" (e.g. incoherent forms, or forms built
+/// outside any store).
+inline constexpr NfId kNoNfId = std::numeric_limits<uint32_t>::max();
+
 /// Unbounded upper cardinality ("no AT-MOST restriction").
 inline constexpr uint32_t kUnbounded = std::numeric_limits<uint32_t>::max();
 

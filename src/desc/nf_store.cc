@@ -1,0 +1,41 @@
+#include "desc/nf_store.h"
+
+#include <utility>
+
+namespace classic {
+
+NormalFormPtr NormalFormStore::Intern(NormalForm nf) {
+  if (nf.incoherent()) {
+    return std::make_shared<const NormalForm>(std::move(nf));
+  }
+
+  // Deep interning: rewrite nested value restrictions to their canonical
+  // objects first, so equality below compares against forms whose own
+  // children are already shared, and so every reachable coherent form
+  // carries an id for the subsumption memo.
+  for (auto& [role, rr] : nf.roles_) {
+    (void)role;
+    if (rr.value_restriction && !rr.value_restriction->incoherent() &&
+        rr.value_restriction->interned_id() == kNoNfId) {
+      rr.value_restriction = Intern(NormalForm(*rr.value_restriction));
+    }
+  }
+
+  size_t h = nf.Hash();
+  auto& bucket = buckets_[h];
+  for (NfId id : bucket) {
+    if (forms_[id]->Equals(nf)) {
+      ++hits_;
+      return forms_[id];
+    }
+  }
+  ++misses_;
+  NfId id = static_cast<NfId>(forms_.size());
+  nf.nf_id_ = id;
+  auto ptr = std::make_shared<const NormalForm>(std::move(nf));
+  forms_.push_back(ptr);
+  bucket.push_back(id);
+  return forms_.back();
+}
+
+}  // namespace classic

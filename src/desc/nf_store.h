@@ -1,0 +1,61 @@
+// Hash-consing store for normal forms.
+//
+// Every frozen NormalForm in one database is interned here exactly once:
+// structurally equal forms share one immutable object, identified by a
+// dense NfId. Interning is *deep* — nested value restrictions are interned
+// before their parent — so any two forms reachable from interned forms can
+// be compared by id, which is what makes the (NfId, NfId)-keyed
+// SubsumptionIndex valid at every level of the RoleSubsumes recursion.
+//
+// Interned forms are immutable and ids are never reused, so facts derived
+// about a pair of ids (subsumption verdicts, most prominently) never go
+// stale: the invalidation story of the whole memoization substrate is
+// "there is nothing to invalidate".
+//
+// One store per database. NfIds from different stores must never meet in
+// the same index (they are dense per-store counters).
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "desc/normal_form.h"
+
+namespace classic {
+
+class NormalFormStore {
+ public:
+  /// \brief Interns `nf` (and, recursively, its value restrictions),
+  /// returning the canonical shared object. Structurally equal inputs
+  /// return pointer-identical outputs.
+  ///
+  /// Incoherent forms are the exception: they all denote bottom but each
+  /// carries its own diagnostic reason, so they are wrapped without
+  /// sharing and keep kNoNfId (subsumption decides bottom in O(1), so
+  /// they never need cache identity).
+  NormalFormPtr Intern(NormalForm nf);
+
+  /// \brief The canonical form with this id. `id` must have been returned
+  /// by this store.
+  const NormalFormPtr& form(NfId id) const { return forms_[id]; }
+
+  /// Number of lookups answered by an existing form.
+  size_t hits() const { return hits_; }
+  /// Number of lookups that created a new form (== number of distinct
+  /// interned forms).
+  size_t misses() const { return misses_; }
+  /// Number of distinct interned forms.
+  size_t size() const { return forms_.size(); }
+
+ private:
+  /// hash -> ids of interned forms with that hash.
+  std::unordered_map<size_t, std::vector<NfId>> buckets_;
+  /// Dense id -> canonical form.
+  std::vector<NormalFormPtr> forms_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace classic

@@ -14,6 +14,28 @@ const RoleRestriction& TrivialRole() {
 }
 }  // namespace
 
+NormalForm::NormalForm(const NormalForm& other)
+    : incoherent_(other.incoherent_),
+      incoherence_reason_(other.incoherence_reason_),
+      atoms_(other.atoms_),
+      enumeration_(other.enumeration_),
+      roles_(other.roles_),
+      tests_(other.tests_),
+      coref_(other.coref_) {}
+
+NormalForm& NormalForm::operator=(const NormalForm& other) {
+  if (this == &other) return *this;
+  nf_id_ = kNoNfId;
+  incoherent_ = other.incoherent_;
+  incoherence_reason_ = other.incoherence_reason_;
+  atoms_ = other.atoms_;
+  enumeration_ = other.enumeration_;
+  roles_ = other.roles_;
+  tests_ = other.tests_;
+  coref_ = other.coref_;
+  return *this;
+}
+
 bool RoleRestriction::IsTrivial() const {
   return at_least == 0 && at_most == kUnbounded &&
          (value_restriction == nullptr || value_restriction->IsThing()) &&
@@ -395,9 +417,15 @@ void MergeNormalFormInto(NormalForm* dst, const NormalForm& src,
 
 NormalFormPtr MeetNormalForms(const NormalForm& a, const NormalForm& b,
                               const Vocabulary& vocab) {
-  auto out = std::make_shared<NormalForm>(a);
-  MergeNormalFormInto(out.get(), b, vocab);
-  out->Tighten(vocab);
+  return std::make_shared<const NormalForm>(
+      MeetNormalFormsValue(a, b, vocab));
+}
+
+NormalForm MeetNormalFormsValue(const NormalForm& a, const NormalForm& b,
+                                const Vocabulary& vocab) {
+  NormalForm out(a);
+  MergeNormalFormInto(&out, b, vocab);
+  out.Tighten(vocab);
   return out;
 }
 

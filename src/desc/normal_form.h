@@ -62,6 +62,14 @@ class NormalForm {
  public:
   NormalForm() = default;
 
+  /// Copies reset the interned id: a copy is mutable again and no longer
+  /// the store's canonical object, so it must not claim the identity
+  /// (memoized subsumption keys on NfId pairs).
+  NormalForm(const NormalForm& other);
+  NormalForm& operator=(const NormalForm& other);
+  NormalForm(NormalForm&&) = default;
+  NormalForm& operator=(NormalForm&&) = default;
+
   // --- Read interface ----------------------------------------------------
 
   bool incoherent() const { return incoherent_; }
@@ -88,6 +96,12 @@ class NormalForm {
   /// \brief Structural equality (same canonical constraints).
   bool Equals(const NormalForm& other) const;
   size_t Hash() const;
+
+  /// \brief Dense id assigned by the owning NormalFormStore, or kNoNfId
+  /// when this form was never interned. Two forms from the same store are
+  /// structurally equal iff their ids are equal; the SubsumptionIndex
+  /// keys on these ids.
+  NfId interned_id() const { return nf_id_; }
 
   /// \brief Renders the normal form back into a Description (used for
   /// descriptive answers, ask-description and concept-aspect output).
@@ -116,9 +130,12 @@ class NormalForm {
   void Tighten(const Vocabulary& vocab);
 
  private:
+  friend class NormalFormStore;
+
   /// One pass of invariant restoration; returns true if anything changed.
   bool TightenOnce(const Vocabulary& vocab);
 
+  NfId nf_id_ = kNoNfId;
   bool incoherent_ = false;
   std::string incoherence_reason_;
   std::set<AtomId> atoms_;
@@ -135,6 +152,11 @@ NormalFormPtr ThingNormalFormPtr();
 /// \brief Conjunction of two normal forms, tightened.
 NormalFormPtr MeetNormalForms(const NormalForm& a, const NormalForm& b,
                               const Vocabulary& vocab);
+
+/// \brief Same, returned by value (for callers that intern the result and
+/// would otherwise pay an extra copy).
+NormalForm MeetNormalFormsValue(const NormalForm& a, const NormalForm& b,
+                                const Vocabulary& vocab);
 
 /// \brief Adds all constraints of `src` to `dst` WITHOUT tightening; the
 /// caller tightens once after merging everything it wants.

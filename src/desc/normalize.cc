@@ -4,30 +4,9 @@
 
 namespace classic {
 
-NormalFormPtr NormalFormPool::Intern(NormalForm nf) {
-  // All incoherent forms are structurally equal (they all denote bottom),
-  // but each carries its own diagnostic reason; pooling them would
-  // surface a stale message. Bottom is rare enough not to share.
-  if (nf.incoherent()) {
-    return std::make_shared<const NormalForm>(std::move(nf));
-  }
-  size_t h = nf.Hash();
-  auto& bucket = buckets_[h];
-  for (const auto& existing : bucket) {
-    if (existing->Equals(nf)) {
-      ++hits_;
-      return existing;
-    }
-  }
-  ++misses_;
-  auto ptr = std::make_shared<const NormalForm>(std::move(nf));
-  bucket.push_back(ptr);
-  return ptr;
-}
-
 NormalFormPtr Normalizer::Freeze(NormalForm nf) {
   nf.Tighten(*vocab_);
-  if (options_.intern_forms) return pool_.Intern(std::move(nf));
+  if (options_.intern_forms) return store_.Intern(std::move(nf));
   return std::make_shared<const NormalForm>(std::move(nf));
 }
 
@@ -41,9 +20,14 @@ Result<NormalFormPtr> Normalizer::NormalizeIndividualExpr(
 }
 
 NormalFormPtr Normalizer::Meet(const NormalForm& a, const NormalForm& b) {
-  NormalFormPtr met = MeetNormalForms(a, b, *vocab_);
-  if (options_.intern_forms) return pool_.Intern(*met);
-  return met;
+  // Pointer fast paths: interning makes "same object" a common case, and
+  // meeting with THING is the identity.
+  if (&a == &b && a.interned_id() != kNoNfId) {
+    return store_.form(a.interned_id());
+  }
+  NormalForm met = MeetNormalFormsValue(a, b, *vocab_);
+  if (options_.intern_forms) return store_.Intern(std::move(met));
+  return std::make_shared<const NormalForm>(std::move(met));
 }
 
 Result<NormalFormPtr> Normalizer::NormalizeImpl(const DescPtr& desc,

@@ -15,34 +15,15 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "desc/description.h"
+#include "desc/nf_store.h"
 #include "desc/normal_form.h"
 #include "desc/vocabulary.h"
 #include "util/status.h"
 
 namespace classic {
-
-/// \brief Hash-consing pool for normal forms.
-///
-/// Structurally equal forms are shared, making repeated normalization of
-/// similar value restrictions cheap. Measured by the E7 ablation bench.
-class NormalFormPool {
- public:
-  /// \brief Returns a shared pointer to a pooled form equal to `nf`.
-  NormalFormPtr Intern(NormalForm nf);
-
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
-  size_t size() const { return misses_; }
-
- private:
-  std::unordered_map<size_t, std::vector<NormalFormPtr>> buckets_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-};
 
 /// \brief Converts descriptions to normal forms against a Vocabulary.
 class Normalizer {
@@ -68,7 +49,7 @@ class Normalizer {
   /// \brief Freezes a mutable form (tightens, then interns if enabled).
   NormalFormPtr Freeze(NormalForm nf);
 
-  const NormalFormPool& pool() const { return pool_; }
+  const NormalFormStore& store() const { return store_; }
   Vocabulary* vocab() { return vocab_; }
 
  private:
@@ -82,7 +63,7 @@ class Normalizer {
 
   Vocabulary* vocab_;
   Options options_;
-  NormalFormPool pool_;
+  NormalFormStore store_;
 };
 
 }  // namespace classic

@@ -50,7 +50,17 @@ class KbEngine {
           StrCat("update would make ", kb_->vocab_.IndividualName(ind),
                  " incoherent: ", merged->incoherence_reason()));
     }
-    if (!merged->Equals(*st.derived)) {
+    // Interning makes pointer identity a complete no-change test: both
+    // sides come from the store, so structural equality implies the same
+    // canonical object. The structural comparison remains as fallback for
+    // non-interned configurations.
+    const bool unchanged =
+        merged == st.derived ||
+        (merged->interned_id() != kNoNfId &&
+         st.derived->interned_id() != kNoNfId
+             ? merged->interned_id() == st.derived->interned_id()
+             : merged->Equals(*st.derived));
+    if (!unchanged) {
       st.derived = merged;
       Enqueue(ind);
       // Whoever references this individual may now recognize more.
@@ -573,8 +583,9 @@ std::vector<IndId> KnowledgeBase::AllClassicIndividuals() const {
 NormalFormPtr KnowledgeBase::IntrinsicForm(IndId ind) const {
   NormalForm nf;
   for (AtomId a : vocab_.IntrinsicAtoms(ind)) nf.AddAtom(a, vocab_);
-  nf.Tighten(vocab_);
-  return std::make_shared<const NormalForm>(std::move(nf));
+  // Freeze through the normalizer so intrinsic states share the store's
+  // canonical objects (pointer fast paths, valid memo ids).
+  return normalizer_.Freeze(std::move(nf));
 }
 
 IndividualState& KnowledgeBase::StateRef(IndId ind) const {
@@ -660,7 +671,9 @@ bool KnowledgeBase::SatisfiesImpl(
         ri.at_most > 0) {
       const NormalForm& want = *rc.value_restriction;
       bool ok = false;
-      if (ri.value_restriction && Subsumes(want, *ri.value_restriction)) {
+      if (ri.value_restriction &&
+          Subsumes(want, *ri.value_restriction,
+                   taxonomy_.subsumption_index())) {
         ok = true;
       } else if (ri.closed) {
         ok = true;

@@ -97,7 +97,7 @@ class KnowledgeBase {
   const Vocabulary& vocab() const { return vocab_; }
   Taxonomy& taxonomy() { return taxonomy_; }
   const Taxonomy& taxonomy() const { return taxonomy_; }
-  /// The normalizer's only mutable state is its hash-consing pool, a
+  /// The normalizer's only mutable state is its hash-consing store, a
   /// cache; normalizing a query never changes database meaning.
   Normalizer& normalizer() const { return normalizer_; }
   const KbStats& stats() const { return stats_; }

@@ -190,7 +190,7 @@ Result<bool> ConceptSubsumes(const KnowledgeBase& kb, const DescPtr& c1,
                            kb.normalizer().NormalizeConcept(c1));
   CLASSIC_ASSIGN_OR_RETURN(NormalFormPtr n2,
                            kb.normalizer().NormalizeConcept(c2));
-  return Subsumes(*n1, *n2);
+  return Subsumes(*n1, *n2, kb.taxonomy().subsumption_index());
 }
 
 Result<bool> ConceptEquivalent(const KnowledgeBase& kb, const DescPtr& c1,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "subsume/subsume_index.h"
+
 namespace classic {
 
 namespace {
@@ -12,8 +14,35 @@ bool IsSubset(const Set& a, const Set& b) {
   return std::includes(b.begin(), b.end(), a.begin(), a.end());
 }
 
+bool SubsumesStructural(const NormalForm& general, const NormalForm& specific,
+                        SubsumptionIndex* index);
+
+/// Cache-aware entry: fast paths first, then the memo table (when both
+/// forms are interned), then the structural walk.
+bool SubsumesCached(const NormalForm& general, const NormalForm& specific,
+                    SubsumptionIndex* index) {
+  // Bottom is subsumed by everything; nothing else is subsumed by bottom.
+  if (specific.incoherent()) return true;
+  if (general.incoherent()) return false;
+
+  // Interned forms: identical id means identical canonical object, and
+  // structural subsumption is reflexive.
+  const NfId gid = general.interned_id();
+  const NfId sid = specific.interned_id();
+  if (gid != kNoNfId && gid == sid) return true;
+  if (&general == &specific) return true;
+
+  if (index != nullptr && gid != kNoNfId && sid != kNoNfId) {
+    if (std::optional<bool> cached = index->Lookup(gid, sid)) return *cached;
+    bool result = SubsumesStructural(general, specific, index);
+    index->Insert(gid, sid, result);
+    return result;
+  }
+  return SubsumesStructural(general, specific, index);
+}
+
 bool RoleSubsumes(const RoleRestriction& general,
-                  const RoleRestriction& specific) {
+                  const RoleRestriction& specific, SubsumptionIndex* index) {
   if (specific.at_least < general.at_least) return false;
   if (specific.at_most > general.at_most) return false;
   if (!IsSubset(general.fillers, specific.fillers)) return false;
@@ -23,23 +52,22 @@ bool RoleSubsumes(const RoleRestriction& general,
     if (specific.at_most > 0) {
       const NormalForm& gvr = *general.value_restriction;
       if (specific.value_restriction) {
-        if (!Subsumes(gvr, *specific.value_restriction)) return false;
+        if (!SubsumesCached(gvr, *specific.value_restriction, index)) {
+          return false;
+        }
       } else {
         // The specific side allows arbitrary fillers (THING).
-        if (!Subsumes(gvr, ThingNormalForm())) return false;
+        if (!SubsumesCached(gvr, ThingNormalForm(), index)) return false;
       }
     }
   }
   return true;
 }
 
-}  // namespace
-
-bool Subsumes(const NormalForm& general, const NormalForm& specific) {
-  // Bottom is subsumed by everything; nothing else is subsumed by bottom.
-  if (specific.incoherent()) return true;
-  if (general.incoherent()) return false;
-
+/// The structural comparison itself (no fast paths, no memo consult at
+/// this level — SubsumesCached handles both before calling here).
+bool SubsumesStructural(const NormalForm& general, const NormalForm& specific,
+                        SubsumptionIndex* index) {
   if (!IsSubset(general.atoms(), specific.atoms())) return false;
 
   if (general.enumeration()) {
@@ -51,7 +79,7 @@ bool Subsumes(const NormalForm& general, const NormalForm& specific) {
   if (!IsSubset(general.tests(), specific.tests())) return false;
 
   for (const auto& [role, rg] : general.roles()) {
-    if (!RoleSubsumes(rg, specific.role(role))) return false;
+    if (!RoleSubsumes(rg, specific.role(role), index)) return false;
   }
 
   for (const auto& [p, q] : general.coref().pairs()) {
@@ -59,6 +87,17 @@ bool Subsumes(const NormalForm& general, const NormalForm& specific) {
   }
 
   return true;
+}
+
+}  // namespace
+
+bool Subsumes(const NormalForm& general, const NormalForm& specific) {
+  return SubsumesCached(general, specific, /*index=*/nullptr);
+}
+
+bool Subsumes(const NormalForm& general, const NormalForm& specific,
+              SubsumptionIndex* index) {
+  return SubsumesCached(general, specific, index);
 }
 
 bool Equivalent(const NormalForm& a, const NormalForm& b) {

@@ -15,8 +15,17 @@
 
 namespace classic {
 
+class SubsumptionIndex;
+
 /// \brief True iff `general` subsumes `specific`.
 bool Subsumes(const NormalForm& general, const NormalForm& specific);
+
+/// \brief Memoized variant: consults/extends `index` at every level of the
+/// recursion, keyed on interned NfIds (uncached for forms that were never
+/// interned). Answer-identical to the two-argument overload; `index` may
+/// be null.
+bool Subsumes(const NormalForm& general, const NormalForm& specific,
+              SubsumptionIndex* index);
 
 /// \brief True iff the two forms denote the same class in every state.
 bool Equivalent(const NormalForm& a, const NormalForm& b);

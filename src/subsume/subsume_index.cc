@@ -1,0 +1,51 @@
+#include "subsume/subsume_index.h"
+
+namespace classic {
+
+std::optional<bool> SubsumptionIndex::Lookup(NfId general,
+                                             NfId specific) const {
+  if (table_.empty()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const uint64_t key = PackKey(general, specific);
+  const size_t mask = table_.size() - 1;
+  size_t i = HashKey(key) & mask;
+  while (table_[i].key != kEmptyKey) {
+    if (table_[i].key == key) {
+      ++hits_;
+      return table_[i].value;
+    }
+    i = (i + 1) & mask;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void SubsumptionIndex::Insert(NfId general, NfId specific, bool subsumes) {
+  if (table_.empty() || size_ * 10 >= table_.size() * 7) Grow();
+  const uint64_t key = PackKey(general, specific);
+  const size_t mask = table_.size() - 1;
+  size_t i = HashKey(key) & mask;
+  while (table_[i].key != kEmptyKey) {
+    if (table_[i].key == key) return;  // verdicts never change
+    i = (i + 1) & mask;
+  }
+  table_[i] = {key, subsumes};
+  ++size_;
+}
+
+void SubsumptionIndex::Grow() {
+  const size_t new_cap = table_.empty() ? 1024 : table_.size() * 2;
+  std::vector<Entry> old = std::move(table_);
+  table_.assign(new_cap, Entry{kEmptyKey, false});
+  const size_t mask = new_cap - 1;
+  for (const Entry& e : old) {
+    if (e.key == kEmptyKey) continue;
+    size_t i = HashKey(e.key) & mask;
+    while (table_[i].key != kEmptyKey) i = (i + 1) & mask;
+    table_[i] = e;
+  }
+}
+
+}  // namespace classic

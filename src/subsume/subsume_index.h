@@ -1,0 +1,72 @@
+// Persistent memo table for subsumption verdicts.
+//
+// Keys are (NfId general, NfId specific) pairs from one NormalFormStore.
+// Interned normal forms are immutable and ids are never reused, so a
+// verdict, once computed, is valid forever — the index only ever grows,
+// across Classify calls, KB realizations and queries alike. This replaces
+// the per-call SubsumptionCache the taxonomy used to rebuild on every
+// classification.
+//
+// The table is open-addressing with linear probing over a power-of-two
+// array of packed 64-bit keys; a lookup is one hash, one probe run, no
+// allocation — cheap enough to consult at every level of the
+// RoleSubsumes recursion (value restrictions are interned too, so nested
+// checks hit the same table).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "desc/ids.h"
+
+namespace classic {
+
+class SubsumptionIndex {
+ public:
+  /// \brief Cached verdict for "general subsumes specific", if known.
+  /// Both ids must be valid (not kNoNfId).
+  std::optional<bool> Lookup(NfId general, NfId specific) const;
+
+  /// \brief Records a verdict. Both ids must be valid. Re-inserting an
+  /// existing key is a no-op (the verdict cannot change).
+  void Insert(NfId general, NfId specific, bool subsumes);
+
+  /// Number of recorded verdicts.
+  size_t size() const { return size_; }
+  /// Lookup outcomes, for instrumentation.
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    bool value;
+  };
+
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+
+  static uint64_t PackKey(NfId general, NfId specific) {
+    return (static_cast<uint64_t>(general) << 32) |
+           static_cast<uint64_t>(specific);
+  }
+
+  static size_t HashKey(uint64_t key) {
+    // SplitMix64 finalizer: full-avalanche over the packed pair.
+    uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+
+  void Grow();
+
+  std::vector<Entry> table_;
+  size_t size_ = 0;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+};
+
+}  // namespace classic

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <unordered_map>
 
+#include "desc/description.h"
 #include "subsume/subsume.h"
 #include "util/string_util.h"
 
@@ -10,52 +12,94 @@ namespace classic {
 
 namespace {
 
-/// Memoizing wrapper around one direction of subsumption for a single
-/// classification pass.
-class SubsumptionCache {
- public:
-  SubsumptionCache(const std::vector<NormalFormPtr>& forms,
-                   const NormalForm& target)
-      : forms_(forms), target_(target) {}
-
-  /// node's form subsumes target?
-  bool NodeSubsumesTarget(NodeId node) {
-    auto [it, inserted] = up_.try_emplace(node, false);
-    if (inserted) {
-      ++tests_;
-      it->second = Subsumes(*forms_[node], target_);
+/// Named concepts conjoined at the top level of a definition subsume the
+/// definition by construction (the normal form is their meet, further
+/// tightened) — they are "told" subsumers and need no structural test.
+/// PRIMITIVE/DISJOINT-PRIMITIVE wrap a base description the same way.
+void CollectToldSubsumers(const Description& d, const Vocabulary& vocab,
+                          const std::map<ConceptId, NodeId>& node_of_concept,
+                          std::vector<NodeId>* out) {
+  switch (d.kind()) {
+    case DescKind::kConceptName: {
+      Result<ConceptId> cid = vocab.FindConcept(d.name());
+      if (!cid.ok()) return;
+      auto it = node_of_concept.find(*cid);
+      if (it != node_of_concept.end()) out->push_back(it->second);
+      return;
     }
-    return it->second;
+    case DescKind::kAnd:
+      for (const DescPtr& c : d.conjuncts()) {
+        CollectToldSubsumers(*c, vocab, node_of_concept, out);
+      }
+      return;
+    case DescKind::kPrimitive:
+    case DescKind::kDisjointPrimitive:
+      if (d.child()) {
+        CollectToldSubsumers(*d.child(), vocab, node_of_concept, out);
+      }
+      return;
+    default:
+      return;
   }
-
-  /// target subsumes node's form?
-  bool TargetSubsumesNode(NodeId node) {
-    auto [it, inserted] = down_.try_emplace(node, false);
-    if (inserted) {
-      ++tests_;
-      it->second = Subsumes(target_, *forms_[node]);
-    }
-    return it->second;
-  }
-
-  size_t tests() const { return tests_; }
-
- private:
-  const std::vector<NormalFormPtr>& forms_;
-  const NormalForm& target_;
-  std::map<NodeId, bool> up_;
-  std::map<NodeId, bool> down_;
-  size_t tests_ = 0;
-};
+}
 
 }  // namespace
 
 Classification Taxonomy::Classify(const NormalForm& nf) const {
+  return ClassifyInternal(nf, nullptr);
+}
+
+Classification Taxonomy::Classify(
+    const NormalForm& nf, const std::vector<NodeId>& told_subsumers) const {
+  return ClassifyInternal(nf, &told_subsumers);
+}
+
+Classification Taxonomy::ClassifyInternal(
+    const NormalForm& nf, const std::vector<NodeId>* told_subsumers) const {
   Classification out;
-  std::vector<NormalFormPtr> forms;
-  forms.reserve(nodes_.size());
-  for (const auto& n : nodes_) forms.push_back(n.nf);
-  SubsumptionCache cache(forms, nf);
+  size_t tests = 0;
+
+  // Per-call verdict views over the persistent index. The map keeps each
+  // node's verdict at hand for the DAG sweeps; the persistent index makes
+  // verdicts survive this call (and supplies them to the next one).
+  std::unordered_map<NodeId, bool> up;    // node's form subsumes nf?
+  std::unordered_map<NodeId, bool> down;  // nf subsumes node's form?
+
+  auto decide = [&](const NormalForm& general, const NormalForm& specific)
+      -> bool {
+    const NfId gid = general.interned_id();
+    const NfId sid = specific.interned_id();
+    if (gid != kNoNfId && gid == sid) return true;
+    if (gid != kNoNfId && sid != kNoNfId) {
+      if (std::optional<bool> cached = subsume_index_.Lookup(gid, sid)) {
+        return *cached;
+      }
+    }
+    ++tests;
+    return Subsumes(general, specific, &subsume_index_);
+  };
+  auto node_subsumes_target = [&](NodeId node) {
+    auto [it, inserted] = up.try_emplace(node, false);
+    if (inserted) it->second = decide(*nodes_[node].nf, nf);
+    return it->second;
+  };
+  auto target_subsumes_node = [&](NodeId node) {
+    auto [it, inserted] = down.try_emplace(node, false);
+    if (inserted) it->second = decide(nf, *nodes_[node].nf);
+    return it->second;
+  };
+
+  // Told subsumers (and, transitively, their ancestors) subsume the
+  // target by construction: mark them proven so the top-down sweep walks
+  // straight through them without testing.
+  if (told_subsumers != nullptr) {
+    for (NodeId t : *told_subsumers) {
+      if (t >= nodes_.size()) continue;
+      up[t] = true;
+      ancestor_sets_[t].ForEach(
+          [&up](size_t a) { up[static_cast<NodeId>(a)] = true; });
+    }
+  }
 
   // --- Phase 1: most-specific subsumers (top-down). The set of subsumers
   // is upward-closed, so a node is worth visiting only through a subsuming
@@ -67,7 +111,7 @@ Classification Taxonomy::Classify(const NormalForm& nf) const {
     while (!queue.empty()) {
       NodeId node = queue.front();
       queue.pop_front();
-      if (!cache.NodeSubsumesTarget(node)) continue;
+      if (!node_subsumes_target(node)) continue;
       subsumers.insert(node);
       for (NodeId child : nodes_[node].children) {
         if (seen.insert(child).second) queue.push_back(child);
@@ -88,11 +132,11 @@ Classification Taxonomy::Classify(const NormalForm& nf) const {
 
   // Equivalence: a most-specific subsumer that the target also subsumes.
   for (NodeId p : out.parents) {
-    if (cache.TargetSubsumesNode(p)) {
+    if (target_subsumes_node(p)) {
       out.equivalent = p;
       out.children.assign(nodes_[p].children.begin(),
                           nodes_[p].children.end());
-      out.subsumption_tests = cache.tests();
+      out.subsumption_tests = tests;
       return out;
     }
   }
@@ -121,7 +165,7 @@ Classification Taxonomy::Classify(const NormalForm& nf) const {
     while (!queue.empty()) {
       NodeId node = queue.front();
       queue.pop_front();
-      if (cache.TargetSubsumesNode(node)) {
+      if (target_subsumes_node(node)) {
         subsumees.insert(node);
         continue;
       }
@@ -146,7 +190,7 @@ Classification Taxonomy::Classify(const NormalForm& nf) const {
     std::sort(out.children.begin(), out.children.end());
   }
 
-  out.subsumption_tests = cache.tests();
+  out.subsumption_tests = tests;
   return out;
 }
 
@@ -161,7 +205,11 @@ Result<NodeId> Taxonomy::Insert(ConceptId cid) {
                vocab_->symbols().Name(info.name)));
   }
 
-  Classification cls = Classify(*info.normal_form);
+  std::vector<NodeId> told;
+  if (info.source != nullptr) {
+    CollectToldSubsumers(*info.source, *vocab_, node_of_concept_, &told);
+  }
+  Classification cls = Classify(*info.normal_form, told);
   total_insert_tests_ += cls.subsumption_tests;
 
   if (cls.equivalent) {
@@ -175,14 +223,15 @@ Result<NodeId> Taxonomy::Insert(ConceptId cid) {
   nodes_.push_back({{cid}, info.normal_form, {}, {}});
   node_of_concept_.emplace(cid, node);
 
-  // Ancestor index: the new node's ancestors are its parents plus theirs;
-  // every (transitive) descendant gains the new node (the rest of their
-  // sets is unchanged — they already sat below the parents).
+  // Ancestor index: the new node's ancestors are its parents plus theirs
+  // (a couple of word-parallel unions); every (transitive) descendant
+  // gains the new node's bit (the rest of their sets is unchanged — they
+  // already sat below the parents).
   {
-    std::set<NodeId> anc;
+    DynamicBitset anc;
     for (NodeId p : cls.parents) {
-      anc.insert(p);
-      anc.insert(ancestor_sets_[p].begin(), ancestor_sets_[p].end());
+      anc.Set(p);
+      anc.OrWith(ancestor_sets_[p]);
     }
     ancestor_sets_.push_back(std::move(anc));
     std::deque<NodeId> queue(cls.children.begin(), cls.children.end());
@@ -190,7 +239,7 @@ Result<NodeId> Taxonomy::Insert(ConceptId cid) {
     while (!queue.empty()) {
       NodeId d = queue.front();
       queue.pop_front();
-      ancestor_sets_[d].insert(node);
+      ancestor_sets_[d].Set(node);
       for (NodeId c : nodes_[d].children) {
         if (seen.insert(c).second) queue.push_back(c);
       }
@@ -230,8 +279,7 @@ Result<NodeId> Taxonomy::NodeOf(ConceptId cid) const {
 }
 
 std::vector<NodeId> Taxonomy::Ancestors(NodeId node) const {
-  return std::vector<NodeId>(ancestor_sets_[node].begin(),
-                             ancestor_sets_[node].end());
+  return ancestor_sets_[node].ToVector();
 }
 
 std::vector<NodeId> Taxonomy::Descendants(NodeId node) const {

@@ -13,8 +13,19 @@
 // Classification uses the standard two-phase search: a top-down sweep for
 // the most-specific subsumers (exploiting that the subsumer set is
 // upward-closed) followed by a downward sweep from those parents for the
-// most-general subsumees. The number of subsumption tests actually
-// performed is reported so benches E2/E3 can measure the pruning.
+// most-general subsumees. Three layers keep the constant factors down:
+//
+//  - every subsumption verdict lands in a persistent SubsumptionIndex
+//    keyed on interned NfIds (verdicts never go stale, so the index is
+//    shared across Classify calls, KB realization and queries);
+//  - Insert seeds the top-down phase with the definition's *told*
+//    subsumers (named conjuncts), which are subsumers by construction and
+//    need no test — the search effectively starts below them;
+//  - the transitive-ancestor index is a dynamic bitset per node, giving
+//    O(1) ancestor tests and O(words) set unions on insert.
+//
+// The number of subsumption tests actually computed (memo misses) is
+// reported so benches E2/E3 can measure the pruning.
 
 #pragma once
 
@@ -26,6 +37,8 @@
 
 #include "desc/normal_form.h"
 #include "desc/vocabulary.h"
+#include "subsume/subsume_index.h"
+#include "util/bitset.h"
 #include "util/status.h"
 
 namespace classic {
@@ -41,7 +54,8 @@ struct Classification {
   std::vector<NodeId> children;
   /// Node whose concepts are equivalent to the classified form, if any.
   std::optional<NodeId> equivalent;
-  /// Number of subsumption tests performed (pruning statistic).
+  /// Number of subsumption tests actually computed (memo misses; pruning
+  /// statistic).
   size_t subsumption_tests = 0;
 };
 
@@ -57,6 +71,12 @@ class Taxonomy {
 
   /// \brief Classifies `nf` without inserting anything.
   Classification Classify(const NormalForm& nf) const;
+
+  /// \brief Same, seeded with nodes already known to subsume `nf` (told
+  /// subsumers — e.g. named conjuncts of the definition `nf` came from).
+  /// Seeds and their ancestors are taken on faith, not tested.
+  Classification Classify(const NormalForm& nf,
+                          const std::vector<NodeId>& told_subsumers) const;
 
   /// \brief Node carrying `concept`, or NotFound if never inserted.
   Result<NodeId> NodeOf(ConceptId cid) const;
@@ -75,14 +95,14 @@ class Taxonomy {
   }
 
   /// \brief All (transitive) ancestors, excluding the node itself. Served
-  /// from an incrementally-maintained index (the paper cites ideas "for
-  /// efficiently maintaining information about the subsumption hierarchy
-  /// itself"), so this is O(|ancestors|), not a graph search.
+  /// from an incrementally-maintained bitset index (the paper cites ideas
+  /// "for efficiently maintaining information about the subsumption
+  /// hierarchy itself").
   std::vector<NodeId> Ancestors(NodeId node) const;
 
-  /// \brief O(log n) ancestor test from the same index.
+  /// \brief O(1) ancestor test from the same index.
   bool IsAncestor(NodeId ancestor, NodeId node) const {
-    return ancestor_sets_[node].count(ancestor) > 0;
+    return ancestor_sets_[node].Test(ancestor);
   }
 
   /// \brief All (transitive) descendants, excluding the node itself.
@@ -92,7 +112,12 @@ class Taxonomy {
   const std::set<NodeId>& roots() const { return roots_; }
   size_t num_nodes() const { return nodes_.size(); }
 
-  /// Total subsumption tests performed by all Insert calls (bench E2).
+  /// \brief The shared subsumption memo. Grows monotonically; safe to
+  /// consult from any code holding forms interned in this database's
+  /// NormalFormStore (KB realization, query instance checks, ...).
+  SubsumptionIndex* subsumption_index() const { return &subsume_index_; }
+
+  /// Total subsumption tests computed by all Insert calls (bench E2).
   size_t total_insert_tests() const { return total_insert_tests_; }
 
  private:
@@ -103,12 +128,19 @@ class Taxonomy {
     std::set<NodeId> children;
   };
 
+  Classification ClassifyInternal(
+      const NormalForm& nf, const std::vector<NodeId>* told_subsumers) const;
+
   const Vocabulary* vocab_;
   std::vector<Node> nodes_;
   /// ancestor_sets_[n] = every strict ancestor of n; maintained on insert.
-  std::vector<std::set<NodeId>> ancestor_sets_;
+  std::vector<DynamicBitset> ancestor_sets_;
   std::map<ConceptId, NodeId> node_of_concept_;
   std::set<NodeId> roots_;
+  /// Persistent (NfId, NfId) -> verdict memo; interned forms are
+  /// immutable, so entries never go stale. Mutable: Classify is logically
+  /// const but warms the cache.
+  mutable SubsumptionIndex subsume_index_;
   size_t total_insert_tests_ = 0;
 };
 

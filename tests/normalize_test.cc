@@ -279,7 +279,7 @@ TEST_F(NormalizeTest, PoolSharesEqualForms) {
   NormalFormPtr a = NF("(AND (AT-LEAST 1 r) (PRIMITIVE CLASSIC-THING p))");
   NormalFormPtr b = NF("(AND (PRIMITIVE CLASSIC-THING p) (AT-LEAST 1 r))");
   EXPECT_EQ(a.get(), b.get());  // interned: same object
-  EXPECT_GT(norm_.pool().hits(), 0u);
+  EXPECT_GT(norm_.store().hits(), 0u);
 }
 
 TEST_F(NormalizeTest, NoInterningWhenDisabled) {
