@@ -1,0 +1,139 @@
+// E8 — Snapshot-isolated parallel query serving (kb/kb_engine.h).
+//
+// Measures, on the 1024-concept standard workload:
+//
+//   - BM_QueryBatch/T: wall-clock time to serve a fixed mixed batch at a
+//     serving concurrency of T threads against one published epoch. The
+//     1 -> 8 scaling factor is the headline number
+//     (bench/run_parallel_bench.sh derives it into BENCH_parallel.json);
+//     on a single-core container it degenerates to ~1x, which the JSON
+//     records alongside the detected core count.
+//   - BM_Publish: cost of cloning + freezing + installing a new epoch,
+//     i.e. the writer-side price of snapshot isolation.
+//   - BM_SnapshotAcquire: reader-side cost of grabbing the current epoch
+//     (one mutex-guarded shared_ptr copy).
+//
+// All request generation is deterministic in fixed seeds.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kb/kb_engine.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload.h"
+
+namespace classic::bench {
+namespace {
+
+constexpr size_t kConcepts = 1024;
+constexpr size_t kIndividuals = 1024;
+constexpr size_t kBatchSize = 256;
+
+std::vector<QueryRequest> MakeMixedRequests(const StandardWorkload& w,
+                                            size_t count, uint64_t seed) {
+  Rng rng(seed);
+  auto pick = [&rng](const std::vector<std::string>& v) -> const std::string& {
+    return v[rng.Below(v.size())];
+  };
+  std::vector<QueryRequest> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    QueryRequest r;
+    switch (rng.Below(6)) {
+      case 0:
+        r.kind = QueryRequest::Kind::kAsk;
+        r.text = pick(w.schema.defined_names);
+        break;
+      case 1:
+        r.kind = QueryRequest::Kind::kAsk;
+        r.text = StrCat("(AND ", pick(w.schema.primitive_names),
+                        " (AT-LEAST 1 ", pick(w.schema.role_names), "))");
+        break;
+      case 2:
+        r.kind = QueryRequest::Kind::kAskPossible;
+        r.text = pick(w.schema.defined_names);
+        break;
+      case 3:
+        r.kind = QueryRequest::Kind::kPathQuery;
+        r.text = StrCat("(select (?x ?y) (?x ", pick(w.schema.defined_names),
+                        ") (?x ", pick(w.schema.role_names), " ?y))");
+        break;
+      case 4:
+        r.kind = QueryRequest::Kind::kDescribeIndividual;
+        r.text = pick(w.individuals);
+        break;
+      case 5:
+        r.kind = QueryRequest::Kind::kInstancesOf;
+        r.text = pick(w.schema.defined_names);
+        break;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+struct ParallelFixture {
+  Database db;
+  KbEngine engine;
+  std::vector<QueryRequest> requests;
+
+  ParallelFixture() {
+    StandardWorkload w =
+        BuildStandardWorkload(&db, kConcepts, kIndividuals, /*seed=*/42);
+    engine.Reset(db.kb().Clone());
+    requests = MakeMixedRequests(w, kBatchSize, /*seed=*/0xBEEF);
+    // Warm the logically-const caches (normal forms, host literals) once
+    // so every thread count measures the same steady state.
+    engine.QueryBatch(requests, /*num_threads=*/1);
+  }
+};
+
+ParallelFixture& Fixture() {
+  static ParallelFixture* fx = new ParallelFixture();
+  return *fx;
+}
+
+void BM_QueryBatch(benchmark::State& state) {
+  ParallelFixture& fx = Fixture();
+  const size_t threads = static_cast<size_t>(state.range(0));
+  size_t answers = 0;
+  for (auto _ : state) {
+    std::vector<QueryAnswer> out = fx.engine.QueryBatch(fx.requests, threads);
+    answers = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["batch_size"] = static_cast<double>(answers);
+  state.counters["requests_per_s"] = benchmark::Counter(
+      static_cast<double>(answers * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_QueryBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_Publish(benchmark::State& state) {
+  ParallelFixture& fx = Fixture();
+  for (auto _ : state) {
+    SnapshotPtr snap = fx.engine.Publish();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.counters["individuals"] = static_cast<double>(kIndividuals);
+}
+BENCHMARK(BM_Publish);
+
+void BM_SnapshotAcquire(benchmark::State& state) {
+  ParallelFixture& fx = Fixture();
+  for (auto _ : state) {
+    SnapshotPtr snap = fx.engine.snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_SnapshotAcquire);
+
+}  // namespace
+}  // namespace classic::bench
+
+BENCHMARK_MAIN();

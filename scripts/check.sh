@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI-style gate: tier-1 build + full test suite, then a ThreadSanitizer
+# build that runs the two parallel suites (the differential harness and
+# the reader/writer stress harness). Usage:
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --tsan     # TSan stage only (reuses build-tsan/)
+#
+# Exits nonzero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+TSAN_ONLY=0
+[[ "${1:-}" == "--tsan" ]] && TSAN_ONLY=1
+
+if [[ "$TSAN_ONLY" -eq 0 ]]; then
+  echo "== tier-1: configure + build"
+  cmake -B build -S . > /dev/null
+  cmake --build build -j"$JOBS"
+  echo "== tier-1: ctest"
+  (cd build && ctest --output-on-failure -j"$JOBS")
+fi
+
+echo "== tsan: configure + build parallel suites"
+cmake -B build-tsan -S . -DCLASSIC_TSAN=ON > /dev/null
+cmake --build build-tsan -j"$JOBS" --target \
+  parallel_diff_test parallel_stress_test
+
+echo "== tsan: parallel_diff_test"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_diff_test
+echo "== tsan: parallel_stress_test"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
+
+echo "== all checks passed"

@@ -14,11 +14,16 @@ Result<DescPtr> Database::Parse(const std::string& text) const {
   return ParseDescriptionString(text, &symbols);
 }
 
-void Database::LogOp(const std::string& line) {
-  if (replaying_ || !log_.is_open()) return;
-  // Persistence is best-effort here; a failing disk must not corrupt the
-  // in-memory DB, which stays authoritative.
-  (void)log_.AppendLine(line);
+Status Database::LogOp(const std::string& line) {
+  if (replaying_ || !log_.is_open()) return Status::OK();
+  // A failing disk must not corrupt the in-memory DB (which stays
+  // authoritative), but it must be *reported*: the operation took effect
+  // yet is not durable, and the caller decides what to do about that.
+  Status st = log_.AppendLine(line);
+  if (!st.ok()) {
+    return st.WithContext("operation applied but not durably logged");
+  }
+  return Status::OK();
 }
 
 // --- Schema ------------------------------------------------------------------
@@ -26,15 +31,13 @@ void Database::LogOp(const std::string& line) {
 Status Database::DefineRole(const std::string& name) {
   auto r = kb_.DefineRole(name, /*attribute=*/false);
   if (!r.ok()) return r.status();
-  LogOp(StrCat("(define-role ", name, ")"));
-  return Status::OK();
+  return LogOp(StrCat("(define-role ", name, ")"));
 }
 
 Status Database::DefineAttribute(const std::string& name) {
   auto r = kb_.DefineRole(name, /*attribute=*/true);
   if (!r.ok()) return r.status();
-  LogOp(StrCat("(define-attribute ", name, ")"));
-  return Status::OK();
+  return LogOp(StrCat("(define-attribute ", name, ")"));
 }
 
 Status Database::DefineConcept(const std::string& name,
@@ -47,8 +50,7 @@ Status Database::DefineConcept(const std::string& name, DescPtr definition) {
   std::string rendered = definition->ToString(kb_.vocab().symbols());
   auto r = kb_.DefineConcept(name, std::move(definition));
   if (!r.ok()) return r.status();
-  LogOp(StrCat("(define-concept ", name, " ", rendered, ")"));
-  return Status::OK();
+  return LogOp(StrCat("(define-concept ", name, " ", rendered, ")"));
 }
 
 Status Database::RegisterTest(const std::string& name, TestFn fn) {
@@ -63,8 +65,7 @@ Status Database::AssertRule(const std::string& antecedent,
   std::string rendered = d->ToString(kb_.vocab().symbols());
   auto r = kb_.AssertRule(antecedent, std::move(d));
   if (!r.ok()) return r.status();
-  LogOp(StrCat("(assert-rule ", antecedent, " ", rendered, ")"));
-  return Status::OK();
+  return LogOp(StrCat("(assert-rule ", antecedent, " ", rendered, ")"));
 }
 
 // --- Updates -----------------------------------------------------------------
@@ -72,8 +73,7 @@ Status Database::AssertRule(const std::string& antecedent,
 Status Database::CreateIndividual(const std::string& name) {
   auto r = kb_.CreateIndividual(name);
   if (!r.ok()) return r.status();
-  LogOp(StrCat("(create-ind ", name, ")"));
-  return Status::OK();
+  return LogOp(StrCat("(create-ind ", name, ")"));
 }
 
 Status Database::CreateIndividual(const std::string& name,
@@ -92,8 +92,7 @@ Status Database::AssertInd(const std::string& name, DescPtr expression) {
   CLASSIC_ASSIGN_OR_RETURN(IndId ind, FindIndividual(name));
   std::string rendered = expression->ToString(kb_.vocab().symbols());
   CLASSIC_RETURN_NOT_OK(kb_.AssertInd(ind, std::move(expression)));
-  LogOp(StrCat("(assert-ind ", name, " ", rendered, ")"));
-  return Status::OK();
+  return LogOp(StrCat("(assert-ind ", name, " ", rendered, ")"));
 }
 
 Status Database::RetractInd(const std::string& name,
@@ -101,9 +100,8 @@ Status Database::RetractInd(const std::string& name,
   CLASSIC_ASSIGN_OR_RETURN(IndId ind, FindIndividual(name));
   CLASSIC_ASSIGN_OR_RETURN(DescPtr d, Parse(expression));
   CLASSIC_RETURN_NOT_OK(kb_.RetractInd(ind, d));
-  LogOp(StrCat("(retract-ind ", name, " ",
-               d->ToString(kb_.vocab().symbols()), ")"));
-  return Status::OK();
+  return LogOp(StrCat("(retract-ind ", name, " ",
+                      d->ToString(kb_.vocab().symbols()), ")"));
 }
 
 // --- Queries -----------------------------------------------------------------

@@ -30,7 +30,10 @@
 
 namespace classic {
 
-/// \brief A CLASSIC database instance. Single-writer; not thread-safe.
+/// \brief A CLASSIC database instance. Single-writer; not thread-safe by
+/// itself — for concurrent query serving, adopt a Clone() of kb() into a
+/// KbEngine (kb/kb_engine.h), which publishes immutable snapshots to any
+/// number of reader threads.
 class Database {
  public:
   Database();
@@ -157,8 +160,10 @@ class Database {
  private:
   friend class Interpreter;
 
-  /// Appends to the op log if one is open.
-  void LogOp(const std::string& line);
+  /// Appends to the op log if one is open. A logging failure is surfaced
+  /// as IOError (the in-memory operation has already taken effect and is
+  /// NOT rolled back; the message says so).
+  Status LogOp(const std::string& line);
 
   Result<DescPtr> Parse(const std::string& text) const;
 

@@ -4,11 +4,21 @@
 
 namespace classic {
 
+NormalFormStore::NormalFormStore(const NormalFormStore& other)
+    : buckets_(other.buckets_), forms_(other.forms_) {
+  hits_.store(other.hits(), std::memory_order_relaxed);
+  misses_.store(other.misses(), std::memory_order_relaxed);
+}
+
 NormalFormPtr NormalFormStore::Intern(NormalForm nf) {
   if (nf.incoherent()) {
     return std::make_shared<const NormalForm>(std::move(nf));
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return InternLocked(std::move(nf));
+}
 
+NormalFormPtr NormalFormStore::InternLocked(NormalForm nf) {
   // Deep interning: rewrite nested value restrictions to their canonical
   // objects first, so equality below compares against forms whose own
   // children are already shared, and so every reachable coherent form
@@ -17,7 +27,7 @@ NormalFormPtr NormalFormStore::Intern(NormalForm nf) {
     (void)role;
     if (rr.value_restriction && !rr.value_restriction->incoherent() &&
         rr.value_restriction->interned_id() == kNoNfId) {
-      rr.value_restriction = Intern(NormalForm(*rr.value_restriction));
+      rr.value_restriction = InternLocked(NormalForm(*rr.value_restriction));
     }
   }
 
@@ -25,17 +35,17 @@ NormalFormPtr NormalFormStore::Intern(NormalForm nf) {
   auto& bucket = buckets_[h];
   for (NfId id : bucket) {
     if (forms_[id]->Equals(nf)) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return forms_[id];
     }
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   NfId id = static_cast<NfId>(forms_.size());
   nf.nf_id_ = id;
   auto ptr = std::make_shared<const NormalForm>(std::move(nf));
   forms_.push_back(ptr);
   bucket.push_back(id);
-  return forms_.back();
+  return forms_[id];
 }
 
 }  // namespace classic

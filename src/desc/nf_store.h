@@ -14,19 +14,34 @@
 //
 // One store per database. NfIds from different stores must never meet in
 // the same index (they are dense per-store counters).
+//
+// Concurrency: Intern serializes on a mutex (query normalization on a
+// shared snapshot may intern from several reader threads); form(id) is
+// lock-free — ids are only handed out after the form is published in
+// stable storage.
 
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "desc/normal_form.h"
+#include "util/stable_vector.h"
 
 namespace classic {
 
 class NormalFormStore {
  public:
+  NormalFormStore() = default;
+
+  /// Deep copy (KB snapshot cloning); shares the immutable form objects.
+  /// The source must not be concurrently mutated during the copy.
+  NormalFormStore(const NormalFormStore& other);
+  NormalFormStore& operator=(const NormalFormStore&) = delete;
+
   /// \brief Interns `nf` (and, recursively, its value restrictions),
   /// returning the canonical shared object. Structurally equal inputs
   /// return pointer-identical outputs.
@@ -42,20 +57,24 @@ class NormalFormStore {
   const NormalFormPtr& form(NfId id) const { return forms_[id]; }
 
   /// Number of lookups answered by an existing form.
-  size_t hits() const { return hits_; }
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
   /// Number of lookups that created a new form (== number of distinct
   /// interned forms).
-  size_t misses() const { return misses_; }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
   /// Number of distinct interned forms.
   size_t size() const { return forms_.size(); }
 
  private:
+  /// The recursion behind Intern; caller holds mutex_.
+  NormalFormPtr InternLocked(NormalForm nf);
+
+  mutable std::mutex mutex_;
   /// hash -> ids of interned forms with that hash.
   std::unordered_map<size_t, std::vector<NfId>> buckets_;
   /// Dense id -> canonical form.
-  std::vector<NormalFormPtr> forms_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  StableVector<NormalFormPtr> forms_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
 };
 
 }  // namespace classic

@@ -38,7 +38,29 @@ Vocabulary::Vocabulary() {
                            /*builtin=*/true});
 }
 
-AtomId Vocabulary::AddAtom(AtomInfo info) {
+Vocabulary::Vocabulary(const Vocabulary& other)
+    : symbols_(other.symbols_),
+      roles_(other.roles_),
+      role_by_name_(other.role_by_name_),
+      atoms_(other.atoms_),
+      plain_atom_by_index_(other.plain_atom_by_index_),
+      disjoint_atom_by_key_(other.disjoint_atom_by_key_),
+      group_of_index_(other.group_of_index_),
+      inds_(other.inds_),
+      ind_by_name_(other.ind_by_name_),
+      host_ind_by_value_(other.host_ind_by_value_),
+      concepts_(other.concepts_),
+      concept_by_name_(other.concept_by_name_),
+      tests_(other.tests_),
+      classic_thing_atom_(other.classic_thing_atom_),
+      host_thing_atom_(other.host_thing_atom_),
+      integer_atom_(other.integer_atom_),
+      real_atom_(other.real_atom_),
+      number_atom_(other.number_atom_),
+      string_atom_(other.string_atom_),
+      boolean_atom_(other.boolean_atom_) {}
+
+AtomId Vocabulary::AddAtom(AtomInfo info) const {
   AtomId id = static_cast<AtomId>(atoms_.size());
   atoms_.push_back(std::move(info));
   return id;
@@ -67,7 +89,8 @@ Result<RoleId> Vocabulary::FindRole(Symbol name) const {
   return it->second;
 }
 
-AtomId Vocabulary::PrimitiveAtom(Symbol index) {
+AtomId Vocabulary::PrimitiveAtom(Symbol index) const {
+  std::lock_guard<std::mutex> lock(atom_mutex_);
   auto it = plain_atom_by_index_.find(index);
   if (it != plain_atom_by_index_.end()) return it->second;
   AtomId id = AddAtom({index, kNoSymbol, {}, /*builtin=*/false});
@@ -75,7 +98,9 @@ AtomId Vocabulary::PrimitiveAtom(Symbol index) {
   return id;
 }
 
-Result<AtomId> Vocabulary::DisjointPrimitiveAtom(Symbol group, Symbol index) {
+Result<AtomId> Vocabulary::DisjointPrimitiveAtom(Symbol group,
+                                                 Symbol index) const {
+  std::lock_guard<std::mutex> lock(atom_mutex_);
   auto git = group_of_index_.find(index);
   if (git != group_of_index_.end() && git->second != group) {
     return Status::InvalidArgument(
@@ -154,6 +179,7 @@ std::vector<AtomId> Vocabulary::IntrinsicAtoms(IndId i) const {
 
 Result<IndId> Vocabulary::CreateIndividual(std::string_view name) {
   Symbol sym = symbols_.Intern(name);
+  std::lock_guard<std::mutex> lock(ind_mutex_);
   if (ind_by_name_.count(sym) > 0) {
     return Status::AlreadyExists(StrCat("individual ", name,
                                         " already exists"));
@@ -165,6 +191,7 @@ Result<IndId> Vocabulary::CreateIndividual(std::string_view name) {
 }
 
 IndId Vocabulary::CreateAnonymousIndividual() {
+  std::lock_guard<std::mutex> lock(ind_mutex_);
   IndId id = static_cast<IndId>(inds_.size());
   Symbol sym = symbols_.Intern(StrCat("__anon", id));
   inds_.push_back({IndKind::kClassic, sym, std::nullopt});
@@ -172,7 +199,8 @@ IndId Vocabulary::CreateAnonymousIndividual() {
   return id;
 }
 
-IndId Vocabulary::InternHostValue(const HostValue& v) {
+IndId Vocabulary::InternHostValue(const HostValue& v) const {
+  std::lock_guard<std::mutex> lock(ind_mutex_);
   auto it = host_ind_by_value_.find(v);
   if (it != host_ind_by_value_.end()) return it->second;
   IndId id = static_cast<IndId>(inds_.size());

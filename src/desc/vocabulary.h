@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "desc/host_value.h"
 #include "desc/ids.h"
 #include "util/intern.h"
+#include "util/stable_vector.h"
 #include "util/status.h"
 
 namespace classic {
@@ -90,10 +92,24 @@ struct ConceptInfo {
   NormalFormPtr normal_form;
 };
 
-/// \brief All name spaces of one database. Not thread-safe.
+/// \brief All name spaces of one database.
+///
+/// Thread-safety: schema mutations (DefineRole/DefineConcept/
+/// CreateIndividual/RegisterTest) follow the database's single-writer
+/// discipline. The *logically-const interning caches* — the symbol
+/// table, primitive-atom pool and host-value pool, all of which may grow
+/// while a read-only query is normalized — are internally synchronized,
+/// so any number of reader threads can share one published snapshot.
+/// Lookups of already-published entries are lock-free (stable storage,
+/// release-published sizes).
 class Vocabulary {
  public:
   Vocabulary();
+
+  /// Deep copy (KB snapshot cloning). The source must not be concurrently
+  /// mutated during the copy.
+  Vocabulary(const Vocabulary& other);
+  Vocabulary& operator=(const Vocabulary&) = delete;
 
   /// The symbol table is a logically-const interning cache: reading a
   /// description may intern new names without changing database meaning.
@@ -114,13 +130,15 @@ class Vocabulary {
   // --- Atoms -------------------------------------------------------------
 
   /// \brief Interns the plain primitive atom with index `index`.
-  AtomId PrimitiveAtom(Symbol index);
+  /// Logically const (thread-safe): normalizing a query may reach this.
+  AtomId PrimitiveAtom(Symbol index) const;
 
   /// \brief Interns the disjoint primitive atom (`group`, `index`).
   ///
   /// Atoms with equal group and different index are pairwise disjoint.
   /// Interning the same index under two different groups is an error.
-  Result<AtomId> DisjointPrimitiveAtom(Symbol group, Symbol index);
+  /// Logically const (thread-safe), like PrimitiveAtom.
+  Result<AtomId> DisjointPrimitiveAtom(Symbol group, Symbol index) const;
 
   const AtomInfo& atom(AtomId id) const { return atoms_[id]; }
   size_t num_atoms() const { return atoms_.size(); }
@@ -155,7 +173,9 @@ class Vocabulary {
   IndId CreateAnonymousIndividual();
 
   /// \brief Interns a host value as an individual (idempotent).
-  IndId InternHostValue(const HostValue& v);
+  /// Logically const (thread-safe): normalizing a query that mentions a
+  /// literal interns it without changing database meaning.
+  IndId InternHostValue(const HostValue& v) const;
 
   /// \brief Looks up a named individual.
   Result<IndId> FindIndividual(Symbol name) const;
@@ -189,21 +209,30 @@ class Vocabulary {
   bool HasTest(Symbol name) const { return tests_.count(name) > 0; }
 
  private:
-  AtomId AddAtom(AtomInfo info);
+  /// Caller holds atom_mutex_ (or is the constructor / a copy).
+  AtomId AddAtom(AtomInfo info) const;
 
   mutable SymbolTable symbols_;
 
   std::vector<RoleInfo> roles_;
   std::map<Symbol, RoleId> role_by_name_;
 
-  std::vector<AtomInfo> atoms_;
-  std::map<Symbol, AtomId> plain_atom_by_index_;
-  std::map<std::pair<Symbol, Symbol>, AtomId> disjoint_atom_by_key_;
-  std::map<Symbol, Symbol> group_of_index_;
+  /// Atom storage is stable and its directory maps are guarded:
+  /// PrimitiveAtom / DisjointPrimitiveAtom are reachable from read-only
+  /// query normalization on a shared snapshot.
+  mutable StableVector<AtomInfo> atoms_;
+  mutable std::map<Symbol, AtomId> plain_atom_by_index_;
+  mutable std::map<std::pair<Symbol, Symbol>, AtomId> disjoint_atom_by_key_;
+  mutable std::map<Symbol, Symbol> group_of_index_;
+  mutable std::mutex atom_mutex_;
 
-  std::vector<IndInfo> inds_;
+  /// Same story for individuals: host-value interning is reachable from
+  /// query normalization. ind_by_name_ is writer-only (host individuals
+  /// are anonymous) and needs no lock.
+  mutable StableVector<IndInfo> inds_;
   std::map<Symbol, IndId> ind_by_name_;
-  std::map<HostValue, IndId> host_ind_by_value_;
+  mutable std::map<HostValue, IndId> host_ind_by_value_;
+  mutable std::mutex ind_mutex_;
 
   std::vector<ConceptInfo> concepts_;
   std::map<Symbol, ConceptId> concept_by_name_;

@@ -1,0 +1,244 @@
+#include "kb/kb_engine.h"
+
+#include <thread>
+#include <utility>
+
+#include "query/describe.h"
+#include "query/introspect.h"
+#include "query/path_query.h"
+#include "query/query.h"
+#include "util/string_util.h"
+
+namespace classic {
+
+namespace {
+
+std::vector<std::string> Names(const KnowledgeBase& kb,
+                               const std::vector<IndId>& ids) {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (IndId i : ids) out.push_back(kb.vocab().IndividualName(i));
+  return out;
+}
+
+Result<IndId> FindIndByName(const KnowledgeBase& kb, const std::string& name) {
+  Symbol sym = kb.vocab().symbols().Lookup(name);
+  if (sym == kNoSymbol) {
+    return Status::NotFound(StrCat("unknown individual: ", name));
+  }
+  return kb.vocab().FindIndividual(sym);
+}
+
+/// Total worker-thread count backing a serving concurrency of `total`
+/// threads (the batch caller participates, so the pool holds one fewer).
+size_t PoolWorkers(size_t total) { return total > 0 ? total - 1 : 0; }
+
+size_t ResolveTotalThreads(size_t requested) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+std::string QueryAnswer::Canonical() const {
+  std::string out = status.ok()
+                        ? std::string("OK")
+                        : StrCat(StatusCodeName(status.code()), ": ",
+                                 status.message());
+  for (const std::string& v : values) {
+    out.push_back('\x1f');  // unit separator: cannot occur in rendered names
+    out.append(v);
+  }
+  return out;
+}
+
+KbEngine::KbEngine() : KbEngine(Options()) {}
+
+KbEngine::KbEngine(Options options)
+    : master_(std::make_unique<KnowledgeBase>()),
+      pool_(PoolWorkers(ResolveTotalThreads(options.num_threads))) {}
+
+KbEngine::~KbEngine() = default;
+
+SnapshotPtr KbEngine::Reset(std::unique_ptr<KnowledgeBase> master) {
+  master_ = std::move(master);
+  return Publish();
+}
+
+Status KbEngine::Mutate(const std::function<Status(KnowledgeBase*)>& fn) {
+  CLASSIC_RETURN_NOT_OK(fn(master_.get()));
+  Publish();
+  return Status::OK();
+}
+
+SnapshotPtr KbEngine::Publish() {
+  std::unique_ptr<KnowledgeBase> clone = master_->Clone();
+  clone->FreezeVisibleIndividuals();
+  const uint64_t e = epoch_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto snap = std::make_shared<const KbSnapshot>(
+      std::unique_ptr<const KnowledgeBase>(std::move(clone)), e);
+  {
+    std::lock_guard<std::mutex> lock(current_mutex_);
+    current_ = snap;
+  }
+  return snap;
+}
+
+SnapshotPtr KbEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(current_mutex_);
+  return current_;
+}
+
+uint64_t KbEngine::epoch() const {
+  SnapshotPtr s = snapshot();
+  return s ? s->epoch() : 0;
+}
+
+QueryAnswer KbEngine::ServeQuery(const KnowledgeBase& kb,
+                                 const QueryRequest& request) {
+  QueryAnswer out;
+  switch (request.kind) {
+    case QueryRequest::Kind::kAsk: {
+      Result<Query> q = ParseQueryString(request.text, &kb.vocab().symbols());
+      if (!q.ok()) {
+        out.status = q.status();
+        return out;
+      }
+      Result<RetrievalResult> r = Retrieve(kb, *q);
+      if (!r.ok()) {
+        out.status = r.status();
+        return out;
+      }
+      out.values = Names(kb, r->answers);
+      return out;
+    }
+    case QueryRequest::Kind::kAskPossible: {
+      Result<Query> q = ParseQueryString(request.text, &kb.vocab().symbols());
+      if (!q.ok()) {
+        out.status = q.status();
+        return out;
+      }
+      Result<std::vector<IndId>> ids = RetrievePossible(kb, *q);
+      if (!ids.ok()) {
+        out.status = ids.status();
+        return out;
+      }
+      out.values = Names(kb, *ids);
+      return out;
+    }
+    case QueryRequest::Kind::kAskDescription: {
+      Result<Query> q = ParseQueryString(request.text, &kb.vocab().symbols());
+      if (!q.ok()) {
+        out.status = q.status();
+        return out;
+      }
+      Result<DescriptionAnswer> a = AskDescription(kb, *q);
+      if (!a.ok()) {
+        out.status = a.status();
+        return out;
+      }
+      out.values.push_back(a->description->ToString(kb.vocab().symbols()));
+      for (const std::string& m : a->msc_names) out.values.push_back(m);
+      return out;
+    }
+    case QueryRequest::Kind::kPathQuery: {
+      Result<PathQuery> q = ParsePathQueryString(request.text, kb);
+      if (!q.ok()) {
+        out.status = q.status();
+        return out;
+      }
+      Result<PathQueryResult> r = EvaluatePathQuery(kb, *q);
+      if (!r.ok()) {
+        out.status = r.status();
+        return out;
+      }
+      for (const auto& row : PathQueryRowNames(kb, *r)) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+          if (c > 0) line.push_back(' ');
+          line.append(row[c]);
+        }
+        out.values.push_back(std::move(line));
+      }
+      return out;
+    }
+    case QueryRequest::Kind::kDescribeIndividual: {
+      Result<IndId> ind = FindIndByName(kb, request.text);
+      if (!ind.ok()) {
+        out.status = ind.status();
+        return out;
+      }
+      out.values.push_back(kb.state(*ind).derived->ToString(kb.vocab()));
+      return out;
+    }
+    case QueryRequest::Kind::kMostSpecificConcepts: {
+      Result<IndId> ind = FindIndByName(kb, request.text);
+      if (!ind.ok()) {
+        out.status = ind.status();
+        return out;
+      }
+      Result<std::vector<std::string>> msc = IndMostSpecificConcepts(kb, *ind);
+      if (!msc.ok()) {
+        out.status = msc.status();
+        return out;
+      }
+      out.values = std::move(*msc);
+      return out;
+    }
+    case QueryRequest::Kind::kInstancesOf: {
+      Symbol sym = kb.vocab().symbols().Lookup(request.text);
+      if (sym == kNoSymbol) {
+        out.status = Status::NotFound(
+            StrCat("unknown concept: ", request.text));
+        return out;
+      }
+      Result<ConceptId> cid = kb.vocab().FindConcept(sym);
+      if (!cid.ok()) {
+        out.status = cid.status();
+        return out;
+      }
+      Result<NodeId> node = kb.taxonomy().NodeOf(*cid);
+      if (!node.ok()) {
+        out.status = node.status();
+        return out;
+      }
+      const std::set<IndId>& inst = kb.Instances(*node);
+      out.values = Names(kb, std::vector<IndId>(inst.begin(), inst.end()));
+      return out;
+    }
+  }
+  out.status = Status::InvalidArgument("unknown query kind");
+  return out;
+}
+
+std::vector<QueryAnswer> KbEngine::QueryBatch(
+    const std::vector<QueryRequest>& requests, size_t num_threads) {
+  SnapshotPtr snap = snapshot();
+  if (!snap) {
+    std::vector<QueryAnswer> out(requests.size());
+    for (QueryAnswer& a : out) {
+      a.status = Status::NotFound("no epoch published yet");
+    }
+    return out;
+  }
+  return QueryBatchOn(*snap, requests, num_threads);
+}
+
+std::vector<QueryAnswer> KbEngine::QueryBatchOn(
+    const KbSnapshot& snap, const std::vector<QueryRequest>& requests,
+    size_t num_threads) {
+  std::vector<QueryAnswer> out(requests.size());
+  auto serve = [&](size_t i) { out[i] = ServeQuery(snap.kb(), requests[i]); };
+  if (num_threads == 1) {
+    for (size_t i = 0; i < requests.size(); ++i) serve(i);
+  } else if (num_threads == 0) {
+    pool_.ParallelFor(requests.size(), serve);
+  } else {
+    ThreadPool batch_pool(PoolWorkers(num_threads));
+    batch_pool.ParallelFor(requests.size(), serve);
+  }
+  return out;
+}
+
+}  // namespace classic

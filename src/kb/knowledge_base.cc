@@ -33,9 +33,9 @@ bool IsReservedConceptName(std::string_view name) {
 // rolls the whole update back (assert-ind is atomic).
 // ---------------------------------------------------------------------------
 
-class KbEngine {
+class PropagationEngine {
  public:
-  explicit KbEngine(KnowledgeBase* kb) : kb_(kb) {}
+  explicit PropagationEngine(KnowledgeBase* kb) : kb_(kb) {}
 
   void Enqueue(IndId ind) {
     if (queued_.insert(ind).second) worklist_.push_back(ind);
@@ -287,6 +287,23 @@ class KbEngine {
 
 KnowledgeBase::KnowledgeBase() : normalizer_(&vocab_), taxonomy_(&vocab_) {}
 
+KnowledgeBase::KnowledgeBase(const KnowledgeBase& other)
+    : vocab_(other.vocab_),
+      normalizer_(other.normalizer_, &vocab_),
+      taxonomy_(other.taxonomy_, &vocab_),
+      states_(other.states_),
+      visible_ind_limit_(other.visible_ind_limit_),
+      base_log_(other.base_log_),
+      instances_(other.instances_),
+      rules_on_node_(other.rules_on_node_),
+      rules_(other.rules_),
+      referenced_by_(other.referenced_by_),
+      stats_(other.stats_) {}
+
+std::unique_ptr<KnowledgeBase> KnowledgeBase::Clone() const {
+  return std::unique_ptr<KnowledgeBase>(new KnowledgeBase(*this));
+}
+
 Result<RoleId> KnowledgeBase::DefineRole(std::string_view name,
                                          bool attribute) {
   return vocab_.DefineRole(name, attribute);
@@ -417,7 +434,7 @@ Status KnowledgeBase::AssertInd(IndId ind, DescPtr expr) {
         StrCat("host individual ", vocab_.IndividualName(ind),
                " cannot be described (host individuals have no roles)"));
   }
-  KbEngine engine(this);
+  PropagationEngine engine(this);
   Status st = ApplyIndividualExpr(&engine, ind, expr);
   if (!st.ok()) {
     engine.Rollback();
@@ -451,7 +468,7 @@ void SplitClose(const DescPtr& expr, std::vector<DescPtr>* rest,
 
 }  // namespace
 
-Status KnowledgeBase::ApplyIndividualExpr(KbEngine* engine, IndId ind,
+Status KnowledgeBase::ApplyIndividualExpr(PropagationEngine* engine, IndId ind,
                                           const DescPtr& expr) {
   std::vector<DescPtr> rest;
   std::vector<Symbol> close_roles;
@@ -533,7 +550,7 @@ Status KnowledgeBase::RederiveAll() {
   instances_.clear();
   referenced_by_.clear();
 
-  KbEngine engine(this);
+  PropagationEngine engine(this);
   // Individuals with no assertions still need realization.
   for (size_t i = 0; i < states_.size(); ++i) {
     if (IsClassicIndividual(static_cast<IndId>(i))) {
@@ -574,7 +591,8 @@ const std::set<IndId>& KnowledgeBase::Referencers(IndId ind) const {
 
 std::vector<IndId> KnowledgeBase::AllClassicIndividuals() const {
   std::vector<IndId> out;
-  for (IndId i = 0; i < vocab_.num_individuals(); ++i) {
+  const IndId limit = num_visible_individuals();
+  for (IndId i = 0; i < limit; ++i) {
     if (IsClassicIndividual(i)) out.push_back(i);
   }
   return out;
@@ -589,6 +607,10 @@ NormalFormPtr KnowledgeBase::IntrinsicForm(IndId ind) const {
 }
 
 IndividualState& KnowledgeBase::StateRef(IndId ind) const {
+  // Fast path: already materialized and published. Storage is stable, so
+  // the reference stays valid while other threads extend the vector.
+  if (ind < states_.size()) return states_[ind];
+  std::lock_guard<std::mutex> lock(states_mutex_);
   while (states_.size() <= ind) {
     IndId id = static_cast<IndId>(states_.size());
     IndividualState st;
@@ -700,7 +722,7 @@ bool KnowledgeBase::SatisfiesImpl(
 }
 
 Status KnowledgeBase::Propagate(const std::vector<IndId>& seeds) {
-  KbEngine engine(this);
+  PropagationEngine engine(this);
   for (IndId i : seeds) engine.Enqueue(i);
   Status st = engine.Run();
   if (!st.ok()) engine.Rollback();

@@ -29,8 +29,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -41,11 +43,12 @@
 #include "desc/parser.h"
 #include "desc/vocabulary.h"
 #include "taxonomy/taxonomy.h"
+#include "util/stable_vector.h"
 #include "util/status.h"
 
 namespace classic {
 
-class KbEngine;
+class PropagationEngine;
 
 /// \brief A forward-chaining rule: "if an individual is a <antecedent>
 /// then it is also a <consequent>" (paper Section 3.3). Rules are
@@ -78,20 +81,48 @@ struct IndividualState {
 };
 
 /// \brief Engine statistics, exposed for the benchmark harness.
+///
+/// Counters are relaxed atomics: several reader threads bump them while
+/// serving queries from one shared snapshot, and a racy total would be a
+/// reported data race under TSan even where the imprecision is harmless.
 struct KbStats {
-  size_t propagation_steps = 0;
-  size_t rule_firings = 0;
-  size_t realizations = 0;
-  size_t satisfies_checks = 0;
-  size_t rejected_updates = 0;
+  KbStats() = default;
+  KbStats(const KbStats& other)
+      : propagation_steps(other.propagation_steps.load()),
+        rule_firings(other.rule_firings.load()),
+        realizations(other.realizations.load()),
+        satisfies_checks(other.satisfies_checks.load()),
+        rejected_updates(other.rejected_updates.load()) {}
+
+  std::atomic<size_t> propagation_steps{0};
+  std::atomic<size_t> rule_firings{0};
+  std::atomic<size_t> realizations{0};
+  std::atomic<size_t> satisfies_checks{0};
+  std::atomic<size_t> rejected_updates{0};
 };
 
 /// \brief A CLASSIC database: schema + individuals + rules.
 ///
-/// Single-writer; queries live in query/. Not thread-safe.
+/// Thread-safety contract (see DESIGN.md section 7): all mutating
+/// operations (DDL, DML, retraction) follow a single-writer discipline —
+/// at most one thread mutates a given KnowledgeBase, with no concurrent
+/// readers *of that object*. Read-only operations (queries, Satisfies,
+/// introspection) are safe from any number of threads concurrently,
+/// because every logically-const cache they touch (symbol/host-value
+/// interning, the normal-form store, the subsumption memo, lazy state
+/// materialization, stats counters) is internally synchronized. The
+/// epoch layer in kb/kb_engine.h builds on this: the writer mutates a
+/// private master and publishes immutable clones for readers.
 class KnowledgeBase {
  public:
   KnowledgeBase();
+
+  /// \brief Deep copy for epoch publishing: an independent KnowledgeBase
+  /// whose meaning, ids (Symbols, IndIds, NfIds, NodeIds) and memo
+  /// contents coincide with this one. Immutable substructures (interned
+  /// normal forms, descriptions) are shared. The source must not be
+  /// concurrently mutated during the call.
+  std::unique_ptr<KnowledgeBase> Clone() const;
 
   Vocabulary& vocab() { return vocab_; }
   const Vocabulary& vocab() const { return vocab_; }
@@ -153,8 +184,28 @@ class KnowledgeBase {
   /// maintained incrementally).
   const std::set<IndId>& Instances(NodeId node) const;
 
-  /// \brief All CLASSIC individuals created so far.
+  /// \brief All CLASSIC individuals created so far (visible ones, on a
+  /// frozen snapshot).
   std::vector<IndId> AllClassicIndividuals() const;
+
+  /// \brief Upper bound (exclusive) on the individual ids that queries
+  /// enumerate. On the live/master database this is simply
+  /// vocab().num_individuals(). On a published snapshot it is frozen at
+  /// publish time, so host values interned *while serving queries* (e.g.
+  /// a literal mentioned only in a query expression) never leak into
+  /// answer sets — that is what makes concurrent batch answers
+  /// byte-identical to serial ones regardless of interleaving.
+  IndId num_visible_individuals() const {
+    return visible_ind_limit_ != kNoId
+               ? visible_ind_limit_
+               : static_cast<IndId>(vocab_.num_individuals());
+  }
+
+  /// \brief Freezes the visible-individual bound at the current count
+  /// (called by the epoch layer on a fresh clone, before publishing it).
+  void FreezeVisibleIndividuals() {
+    visible_ind_limit_ = static_cast<IndId>(vocab_.num_individuals());
+  }
 
   /// \brief Individuals that mention `ind` as a role filler (the reverse
   /// filler index; used for cascade reclassification and reverse joins).
@@ -174,7 +225,11 @@ class KnowledgeBase {
   std::optional<IndId> ResolvePath(IndId start, const RolePath& path) const;
 
  private:
-  friend class KbEngine;
+  friend class PropagationEngine;
+
+  /// Clone() plumbing (rebinds the vocab pointers inside the normalizer
+  /// and taxonomy to the copied vocabulary).
+  KnowledgeBase(const KnowledgeBase& other);
 
   /// Recursive instance test with a cycle guard (individual graphs may be
   /// cyclic; in-progress pairs conservatively fail, which keeps the test
@@ -194,7 +249,7 @@ class KnowledgeBase {
   /// conjuncts are peeled off and applied against the state *after* the
   /// descriptive part has propagated: closing a role fixes its extension
   /// to the fillers known at that moment (Section 3.2).
-  Status ApplyIndividualExpr(KbEngine* engine, IndId ind,
+  Status ApplyIndividualExpr(PropagationEngine* engine, IndId ind,
                              const DescPtr& expr);
 
   /// Normal form of what an individual intrinsically is (CLASSIC-THING,
@@ -209,8 +264,15 @@ class KnowledgeBase {
   mutable Normalizer normalizer_;
   Taxonomy taxonomy_;
 
-  /// Indexed by IndId; lazily extended, hence mutable.
-  mutable std::vector<IndividualState> states_;
+  /// Indexed by IndId; lazily extended, hence mutable. Stable storage
+  /// with a materialization mutex: reader threads may extend it (a query
+  /// literal interns a host individual whose state record materializes on
+  /// first touch) while others hold references to existing records.
+  mutable StableVector<IndividualState> states_;
+  mutable std::mutex states_mutex_;
+
+  /// kNoId on the live/master database; set on published snapshots.
+  IndId visible_ind_limit_ = kNoId;
   /// All accepted assertions in global order (replay preserves the
   /// interleaving across individuals, which matters for CLOSE).
   std::vector<std::pair<IndId, DescPtr>> base_log_;

@@ -18,7 +18,8 @@ bool IsVariable(const sexpr::Value& v) {
 
 }  // namespace
 
-Result<PathQuery> ParsePathQuery(const sexpr::Value& v, KnowledgeBase* kb) {
+Result<PathQuery> ParsePathQuery(const sexpr::Value& v,
+                                 const KnowledgeBase& kb) {
   if (!v.HasHead("select") || v.size() < 3) {
     return Status::InvalidArgument(
         "expected (select (?vars...) atom...), got " + v.ToString());
@@ -51,13 +52,13 @@ Result<PathQuery> ParsePathQuery(const sexpr::Value& v, KnowledgeBase* kb) {
   auto parse_term = [&](const sexpr::Value& t) -> Result<PathTerm> {
     if (IsVariable(t)) return PathTerm::Var(var_id(t.text()));
     CLASSIC_ASSIGN_OR_RETURN(IndRef ref,
-                             ParseIndRef(t, &kb->vocab().symbols()));
+                             ParseIndRef(t, &kb.vocab().symbols()));
     if (ref.is_named()) {
       CLASSIC_ASSIGN_OR_RETURN(IndId id,
-                               kb->vocab().FindIndividual(ref.name()));
+                               kb.vocab().FindIndividual(ref.name()));
       return PathTerm::Const(id);
     }
-    return PathTerm::Const(kb->vocab().InternHostValue(ref.host()));
+    return PathTerm::Const(kb.vocab().InternHostValue(ref.host()));
   };
 
   std::set<size_t> constrained;
@@ -74,9 +75,9 @@ Result<PathQuery> ParsePathQuery(const sexpr::Value& v, KnowledgeBase* kb) {
       a.kind = PathAtom::Kind::kConcept;
       CLASSIC_ASSIGN_OR_RETURN(a.subject, parse_term(atom.at(0)));
       CLASSIC_ASSIGN_OR_RETURN(
-          DescPtr d, ParseDescription(atom.at(1), &kb->vocab().symbols()));
+          DescPtr d, ParseDescription(atom.at(1), &kb.vocab().symbols()));
       CLASSIC_ASSIGN_OR_RETURN(a.concept_nf,
-                               kb->normalizer().NormalizeConcept(d));
+                               kb.normalizer().NormalizeConcept(d));
       if (a.subject.is_var()) constrained.insert(a.subject.var());
       q.atoms.push_back(std::move(a));
     } else {
@@ -87,8 +88,8 @@ Result<PathQuery> ParsePathQuery(const sexpr::Value& v, KnowledgeBase* kb) {
         return Status::InvalidArgument(
             StrCat("expected a role name: ", atom.at(1).ToString()));
       }
-      Symbol role_sym = kb->vocab().symbols().Intern(atom.at(1).text());
-      CLASSIC_ASSIGN_OR_RETURN(a.role, kb->vocab().FindRole(role_sym));
+      Symbol role_sym = kb.vocab().symbols().Intern(atom.at(1).text());
+      CLASSIC_ASSIGN_OR_RETURN(a.role, kb.vocab().FindRole(role_sym));
       CLASSIC_ASSIGN_OR_RETURN(a.object, parse_term(atom.at(2)));
       if (a.subject.is_var()) constrained.insert(a.subject.var());
       if (a.object.is_var()) constrained.insert(a.object.var());
@@ -106,10 +107,19 @@ Result<PathQuery> ParsePathQuery(const sexpr::Value& v, KnowledgeBase* kb) {
   return q;
 }
 
+Result<PathQuery> ParsePathQuery(const sexpr::Value& v, KnowledgeBase* kb) {
+  return ParsePathQuery(v, static_cast<const KnowledgeBase&>(*kb));
+}
+
 Result<PathQuery> ParsePathQueryString(const std::string& text,
-                                       KnowledgeBase* kb) {
+                                       const KnowledgeBase& kb) {
   CLASSIC_ASSIGN_OR_RETURN(sexpr::Value v, sexpr::Parse(text));
   return ParsePathQuery(v, kb);
+}
+
+Result<PathQuery> ParsePathQueryString(const std::string& text,
+                                       KnowledgeBase* kb) {
+  return ParsePathQueryString(text, static_cast<const KnowledgeBase&>(*kb));
 }
 
 namespace {

@@ -223,8 +223,11 @@ Result<RetrievalResult> RetrieveNormalForm(const KnowledgeBase& kb,
   // Candidates: instances of every parent, minus the ones already known.
   std::vector<IndId> candidates;
   if (cls.parents.empty()) {
-    // Only THING subsumes the query: every individual is a candidate.
-    for (IndId i = 0; i < kb.vocab().num_individuals(); ++i) {
+    // Only THING subsumes the query: every (visible) individual is a
+    // candidate. The visible bound is frozen on published snapshots, so
+    // host values interned by concurrent query normalization never change
+    // an answer set.
+    for (IndId i = 0; i < kb.num_visible_individuals(); ++i) {
       if (answers.count(i) == 0) candidates.push_back(i);
     }
   } else {
@@ -265,7 +268,7 @@ namespace {
 Result<RetrievalResult> RetrieveLevelNaive(const KnowledgeBase& kb,
                                            const NormalForm& nf) {
   RetrievalResult out;
-  for (IndId i = 0; i < kb.vocab().num_individuals(); ++i) {
+  for (IndId i = 0; i < kb.num_visible_individuals(); ++i) {
     ++out.stats.candidates_tested;
     if (kb.Satisfies(i, nf)) out.answers.push_back(i);
   }
@@ -332,7 +335,7 @@ Result<std::vector<IndId>> RetrievePossible(const KnowledgeBase& kb,
   CLASSIC_ASSIGN_OR_RETURN(NormalFormPtr nf,
                            kb.normalizer().NormalizeConcept(query.full));
   std::vector<IndId> out;
-  for (IndId i = 0; i < kb.vocab().num_individuals(); ++i) {
+  for (IndId i = 0; i < kb.num_visible_individuals(); ++i) {
     if (kb.Satisfies(i, *nf)) continue;  // already a definite answer
     // Identity is definite under the unique-name assumption: an
     // enumeration excludes every non-member.

@@ -24,10 +24,20 @@ Status OperationLog::AppendLine(const std::string& line) {
   if (!out_.is_open()) {
     return Status::IOError("operation log is not open");
   }
+  if (!out_) {
+    // A previous write failed and left the stream in a failed state; every
+    // further append must keep failing loudly rather than silently dropping
+    // operations (the log would otherwise have a hole in the middle).
+    return Status::IOError(
+        StrCat("operation log is in a failed state: ", path_));
+  }
   out_ << line << '\n';
-  out_.flush();
   if (!out_) {
     return Status::IOError(StrCat("write to log failed: ", path_));
+  }
+  out_.flush();
+  if (!out_) {
+    return Status::IOError(StrCat("flush of log failed: ", path_));
   }
   return Status::OK();
 }

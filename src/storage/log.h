@@ -34,10 +34,13 @@ class OperationLog {
   bool is_open() const { return out_.is_open(); }
   const std::string& path() const { return path_; }
 
-  /// \brief Appends one operation and flushes it to the OS.
+  /// \brief Appends one operation and flushes it to the OS. Returns
+  /// IOError if the log is closed, if the stream is already in a failed
+  /// state from an earlier error, or if the write / flush itself fails —
+  /// callers see exactly which operations did not reach the OS.
   Status Append(const sexpr::Value& op);
 
-  /// \brief Appends a pre-rendered operation line.
+  /// \brief Appends a pre-rendered operation line (same error contract).
   Status AppendLine(const std::string& line);
 
   /// \brief Discards all logged operations (checkpointing: a snapshot has

@@ -2,50 +2,98 @@
 
 namespace classic {
 
+SubsumptionIndex::Table::Table(size_t capacity)
+    : mask(capacity - 1),
+      keys(new std::atomic<uint64_t>[capacity]),
+      vals(new uint8_t[capacity]()) {
+  for (size_t i = 0; i < capacity; ++i) {
+    keys[i].store(kEmptyKey, std::memory_order_relaxed);
+  }
+}
+
+SubsumptionIndex::SubsumptionIndex(const SubsumptionIndex& other) {
+  const Table* src = other.live_.load(std::memory_order_acquire);
+  if (src == nullptr) return;
+  auto copy = std::make_unique<Table>(src->mask + 1);
+  size_t n = 0;
+  for (size_t i = 0; i <= src->mask; ++i) {
+    const uint64_t key = src->keys[i].load(std::memory_order_relaxed);
+    if (key == kEmptyKey) continue;
+    copy->vals[i] = src->vals[i];
+    copy->keys[i].store(key, std::memory_order_relaxed);
+    ++n;
+  }
+  size_.store(n, std::memory_order_relaxed);
+  live_.store(copy.get(), std::memory_order_release);
+  generations_.push_back(std::move(copy));
+}
+
 std::optional<bool> SubsumptionIndex::Lookup(NfId general,
                                              NfId specific) const {
-  if (table_.empty()) {
-    ++misses_;
+  const Table* t = live_.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   const uint64_t key = PackKey(general, specific);
-  const size_t mask = table_.size() - 1;
-  size_t i = HashKey(key) & mask;
-  while (table_[i].key != kEmptyKey) {
-    if (table_[i].key == key) {
-      ++hits_;
-      return table_[i].value;
+  size_t i = HashKey(key) & t->mask;
+  for (;;) {
+    const uint64_t k = t->keys[i].load(std::memory_order_acquire);
+    if (k == key) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      // The verdict byte was written before the key was published, so
+      // the acquire above makes it visible; it never changes after.
+      return t->vals[i] != 0;
     }
-    i = (i + 1) & mask;
+    if (k == kEmptyKey) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    i = (i + 1) & t->mask;
   }
-  ++misses_;
-  return std::nullopt;
 }
 
 void SubsumptionIndex::Insert(NfId general, NfId specific, bool subsumes) {
-  if (table_.empty() || size_ * 10 >= table_.size() * 7) Grow();
+  std::lock_guard<std::mutex> lock(insert_mutex_);
+  Table* t = live_.load(std::memory_order_relaxed);
+  const size_t n = size_.load(std::memory_order_relaxed);
+  if (t == nullptr || (n + 1) * 10 >= (t->mask + 1) * 7) t = Grow(t);
+
   const uint64_t key = PackKey(general, specific);
-  const size_t mask = table_.size() - 1;
-  size_t i = HashKey(key) & mask;
-  while (table_[i].key != kEmptyKey) {
-    if (table_[i].key == key) return;  // verdicts never change
-    i = (i + 1) & mask;
+  size_t i = HashKey(key) & t->mask;
+  for (;;) {
+    const uint64_t k = t->keys[i].load(std::memory_order_relaxed);
+    if (k == key) return;  // verdicts never change
+    if (k == kEmptyKey) break;
+    i = (i + 1) & t->mask;
   }
-  table_[i] = {key, subsumes};
-  ++size_;
+  t->vals[i] = subsumes ? 1 : 0;
+  // Publish value before key: a reader that sees the key sees the value.
+  t->keys[i].store(key, std::memory_order_release);
+  size_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void SubsumptionIndex::Grow() {
-  const size_t new_cap = table_.empty() ? 1024 : table_.size() * 2;
-  std::vector<Entry> old = std::move(table_);
-  table_.assign(new_cap, Entry{kEmptyKey, false});
-  const size_t mask = new_cap - 1;
-  for (const Entry& e : old) {
-    if (e.key == kEmptyKey) continue;
-    size_t i = HashKey(e.key) & mask;
-    while (table_[i].key != kEmptyKey) i = (i + 1) & mask;
-    table_[i] = e;
+SubsumptionIndex::Table* SubsumptionIndex::Grow(Table* old) {
+  const size_t new_cap = old == nullptr ? 1024 : (old->mask + 1) * 2;
+  auto fresh = std::make_unique<Table>(new_cap);
+  if (old != nullptr) {
+    for (size_t i = 0; i <= old->mask; ++i) {
+      const uint64_t key = old->keys[i].load(std::memory_order_relaxed);
+      if (key == kEmptyKey) continue;
+      size_t j = HashKey(key) & fresh->mask;
+      while (fresh->keys[j].load(std::memory_order_relaxed) != kEmptyKey) {
+        j = (j + 1) & fresh->mask;
+      }
+      fresh->vals[j] = old->vals[i];
+      fresh->keys[j].store(key, std::memory_order_relaxed);
+    }
   }
+  Table* published = fresh.get();
+  generations_.push_back(std::move(fresh));
+  // Readers still probing the old generation stay valid (it is retired,
+  // not freed); new lookups see the doubled table.
+  live_.store(published, std::memory_order_release);
+  return published;
 }
 
 }  // namespace classic

@@ -9,14 +9,26 @@
 //
 // The table is open-addressing with linear probing over a power-of-two
 // array of packed 64-bit keys; a lookup is one hash, one probe run, no
-// allocation — cheap enough to consult at every level of the
-// RoleSubsumes recursion (value restrictions are interned too, so nested
-// checks hit the same table).
+// allocation, no locks.
+//
+// Concurrency: any number of threads may Lookup while others Insert.
+// Readers probe the live table with acquire loads and never block; a
+// slot's verdict byte is written before its key is release-published, so
+// a reader that sees the key sees the verdict. Inserts serialize on a
+// mutex (effectively single-writer at a time; concurrent query threads
+// that miss simply recompute — verdicts are deterministic, so losing a
+// race costs work, never correctness). Growth builds a doubled table
+// privately and atomically swaps the live pointer; superseded tables are
+// retired but kept allocated so a reader still probing one stays valid —
+// geometric growth bounds the retired memory by the live table's size.
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -26,8 +38,16 @@ namespace classic {
 
 class SubsumptionIndex {
  public:
+  SubsumptionIndex() = default;
+
+  /// Deep copy (KB snapshot cloning). The source must not be concurrently
+  /// mutated during the copy (the engine clones its private master).
+  SubsumptionIndex(const SubsumptionIndex& other);
+  SubsumptionIndex& operator=(const SubsumptionIndex&) = delete;
+
   /// \brief Cached verdict for "general subsumes specific", if known.
-  /// Both ids must be valid (not kNoNfId).
+  /// Both ids must be valid (not kNoNfId). Lock-free; safe under any
+  /// number of concurrent Lookup/Insert calls.
   std::optional<bool> Lookup(NfId general, NfId specific) const;
 
   /// \brief Records a verdict. Both ids must be valid. Re-inserting an
@@ -35,18 +55,23 @@ class SubsumptionIndex {
   void Insert(NfId general, NfId specific, bool subsumes);
 
   /// Number of recorded verdicts.
-  size_t size() const { return size_; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
   /// Lookup outcomes, for instrumentation.
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
-  struct Entry {
-    uint64_t key;
-    bool value;
-  };
-
   static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+
+  /// One open-addressing generation. Keys and verdicts live in parallel
+  /// arrays: vals[i] is written before keys[i] is release-stored, and
+  /// neither changes afterwards.
+  struct Table {
+    explicit Table(size_t capacity);
+    const size_t mask;
+    std::unique_ptr<std::atomic<uint64_t>[]> keys;
+    std::unique_ptr<uint8_t[]> vals;
+  };
 
   static uint64_t PackKey(NfId general, NfId specific) {
     return (static_cast<uint64_t>(general) << 32) |
@@ -61,12 +86,19 @@ class SubsumptionIndex {
     return static_cast<size_t>(z ^ (z >> 31));
   }
 
-  void Grow();
+  /// Allocates (or doubles) the table and republishes. Caller holds
+  /// insert_mutex_.
+  Table* Grow(Table* old);
 
-  std::vector<Entry> table_;
-  size_t size_ = 0;
-  mutable size_t hits_ = 0;
-  mutable size_t misses_ = 0;
+  /// The table readers probe. Null until the first insert.
+  std::atomic<Table*> live_{nullptr};
+  /// Every generation ever published, newest last; older generations are
+  /// kept so readers that loaded them mid-growth stay valid.
+  std::vector<std::unique_ptr<Table>> generations_;
+  std::mutex insert_mutex_;
+  std::atomic<size_t> size_{0};
+  mutable std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> misses_{0};
 };
 
 }  // namespace classic

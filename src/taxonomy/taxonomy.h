@@ -64,6 +64,21 @@ class Taxonomy {
  public:
   explicit Taxonomy(const Vocabulary* vocab) : vocab_(vocab) {}
 
+  /// \brief Deep copy bound to a (cloned) vocabulary — KB snapshot
+  /// support. Node forms are immutable and shared; the subsumption memo
+  /// is copied so reader threads on the snapshot warm their own table.
+  Taxonomy(const Taxonomy& other, const Vocabulary* vocab)
+      : vocab_(vocab),
+        nodes_(other.nodes_),
+        ancestor_sets_(other.ancestor_sets_),
+        node_of_concept_(other.node_of_concept_),
+        roots_(other.roots_),
+        subsume_index_(other.subsume_index_),
+        total_insert_tests_(other.total_insert_tests_) {}
+
+  Taxonomy(const Taxonomy&) = delete;
+  Taxonomy& operator=(const Taxonomy&) = delete;
+
   /// \brief Inserts a named concept (already registered in the
   /// Vocabulary). Returns the node it lives on — a fresh node, or an
   /// existing one when the definition is equivalent to a known concept.

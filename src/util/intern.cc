@@ -4,16 +4,21 @@
 
 namespace classic {
 
+SymbolTable::SymbolTable(const SymbolTable& other)
+    : names_(other.names_), ids_(other.ids_) {}
+
 Symbol SymbolTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = ids_.find(std::string(name));
   if (it != ids_.end()) return it->second;
   Symbol id = static_cast<Symbol>(names_.size());
-  names_.emplace_back(name);
-  ids_.emplace(names_.back(), id);
+  names_.push_back(std::string(name));
+  ids_.emplace(names_[id], id);
   return id;
 }
 
 Symbol SymbolTable::Lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = ids_.find(std::string(name));
   if (it == ids_.end()) return kNoSymbol;
   return it->second;

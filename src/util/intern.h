@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
+
+#include "util/stable_vector.h"
 
 namespace classic {
 
@@ -25,11 +27,19 @@ inline constexpr Symbol kNoSymbol = static_cast<Symbol>(-1);
 
 /// \brief Bidirectional string <-> dense-id map.
 ///
-/// Not thread-safe; each Database owns one table guarded by the database's
-/// single-writer discipline.
+/// Thread-safe as a logically-const interning cache: concurrent readers
+/// of a published snapshot may intern new names while parsing queries
+/// (which never changes database meaning). Intern/Lookup serialize on a
+/// mutex; Name/Contains/size are lock-free (ids are handed out only
+/// after their string is published in the stable storage).
 class SymbolTable {
  public:
   SymbolTable() = default;
+
+  /// Deep copy (used when a KB master is cloned into a snapshot). The
+  /// source must not be concurrently mutated.
+  SymbolTable(const SymbolTable& other);
+  SymbolTable& operator=(const SymbolTable&) = delete;
 
   /// \brief Interns `name`, returning its stable id (existing or new).
   Symbol Intern(std::string_view name);
@@ -37,7 +47,8 @@ class SymbolTable {
   /// \brief Returns the id of `name`, or kNoSymbol if never interned.
   Symbol Lookup(std::string_view name) const;
 
-  /// \brief Returns the string for an id. `sym` must be valid.
+  /// \brief Returns the string for an id. `sym` must be valid. The
+  /// reference stays valid for the table's lifetime.
   const std::string& Name(Symbol sym) const;
 
   /// \brief Returns true if `sym` is a valid id in this table.
@@ -46,8 +57,9 @@ class SymbolTable {
   size_t size() const { return names_.size(); }
 
  private:
-  std::vector<std::string> names_;
+  StableVector<std::string> names_;
   std::unordered_map<std::string, Symbol> ids_;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace classic

@@ -1,0 +1,119 @@
+// Failure-path coverage for the operation log: appends to a closed,
+// never-opened, or failed stream must surface IOError instead of
+// silently dropping operations (a dropped line is a hole in the middle
+// of the replay log). /dev/full provides a real ENOSPC device for the
+// write/flush failure paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "classic/database.h"
+#include "sexpr/sexpr.h"
+#include "storage/log.h"
+
+namespace classic {
+namespace {
+
+bool HaveDevFull() {
+  std::ofstream probe("/dev/full");
+  return probe.is_open();
+}
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(OperationLogFailureTest, AppendToNeverOpenedLogIsIOError) {
+  storage::OperationLog log;
+  Status st = log.AppendLine("(create-ind X)");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.message().find("not open"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(OperationLogFailureTest, AppendAfterCloseIsIOError) {
+  const std::string path = TempPath("classic_log_failure_test.log");
+  storage::OperationLog log;
+  ASSERT_TRUE(log.Open(path).ok());
+  ASSERT_TRUE(log.AppendLine("(create-ind X)").ok());
+  log.Close();
+  Status st = log.AppendLine("(create-ind Y)");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  // The accepted line made it to disk; the rejected one did not.
+  auto ops = storage::ReadOperations(path);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  EXPECT_EQ(ops->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(OperationLogFailureTest, FullDeviceSurfacesFlushFailure) {
+  if (!HaveDevFull()) GTEST_SKIP() << "/dev/full not available";
+  storage::OperationLog log;
+  ASSERT_TRUE(log.Open("/dev/full").ok());
+  Status st = log.AppendLine("(create-ind X)");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+}
+
+TEST(OperationLogFailureTest, FailedStreamStaysFailed) {
+  if (!HaveDevFull()) GTEST_SKIP() << "/dev/full not available";
+  storage::OperationLog log;
+  ASSERT_TRUE(log.Open("/dev/full").ok());
+  ASSERT_TRUE(log.AppendLine("(create-ind X)").IsIOError());
+  // Every later append keeps failing loudly — no silent recovery that
+  // would leave earlier operations missing from the log.
+  Status st = log.AppendLine("(create-ind Y)");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.message().find("failed state"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(OperationLogFailureTest, AppendValueSharesErrorContract) {
+  storage::OperationLog log;
+  auto parsed = sexpr::ParseAll("(create-ind X)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_TRUE(log.Append(parsed->front()).IsIOError());
+}
+
+TEST(DatabaseLogFailureTest, MutationReportsUndurableButApplies) {
+  if (!HaveDevFull()) GTEST_SKIP() << "/dev/full not available";
+  Database db;
+  ASSERT_TRUE(db.OpenLog("/dev/full").ok());
+  // The in-memory operation succeeds but its log append cannot reach the
+  // device: the caller gets IOError naming the durability gap, and the
+  // in-memory state keeps the update (documented non-rollback contract).
+  Status st = db.CreateIndividual("X");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.message().find("not durably logged"), std::string::npos)
+      << st.ToString();
+  EXPECT_TRUE(db.FindIndividual("X").ok());
+  // Schema operations surface the same contract.
+  st = db.DefineRole("r");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  st = db.AssertInd("X", "(AT-LEAST 1 r)");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  auto ask = db.Ask("(AT-LEAST 1 r)");
+  ASSERT_TRUE(ask.ok()) << ask.status().ToString();
+  EXPECT_EQ(ask->size(), 1u);
+}
+
+TEST(DatabaseLogFailureTest, HealthyLogKeepsSucceeding) {
+  const std::string path = TempPath("classic_db_log_ok_test.log");
+  std::remove(path.c_str());
+  Database db;
+  ASSERT_TRUE(db.OpenLog(path).ok());
+  EXPECT_TRUE(db.CreateIndividual("X").ok());
+  EXPECT_TRUE(db.DefineRole("r").ok());
+  EXPECT_TRUE(db.AssertInd("X", "(AT-LEAST 1 r)").ok());
+  auto ops = storage::ReadOperations(path);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  EXPECT_EQ(ops->size(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace classic
