@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI-style gate: tier-1 build + full test suite, then a ThreadSanitizer
-# build that runs the two parallel suites (the differential harness and
-# the reader/writer stress harness). Usage:
+# CI-style gate: tier-1 build + full test suite, static analysis
+# (classic-lint over the shipped example programs, clang-tidy over src/
+# when installed), then a ThreadSanitizer build that runs the two
+# parallel suites (the differential harness and the reader/writer
+# stress harness). Usage:
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --tsan     # TSan stage only (reuses build-tsan/)
@@ -16,10 +18,21 @@ TSAN_ONLY=0
 
 if [[ "$TSAN_ONLY" -eq 0 ]]; then
   echo "== tier-1: configure + build"
-  cmake -B build -S . > /dev/null
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   cmake --build build -j"$JOBS"
   echo "== tier-1: ctest"
   (cd build && ctest --output-on-failure -j"$JOBS")
+
+  echo "== lint: classic-lint over shipped example programs"
+  ./build/tools/classic_lint examples/*.classic examples/*.clq
+
+  if command -v clang-tidy > /dev/null 2>&1; then
+    echo "== lint: clang-tidy over src/"
+    find src -name '*.cc' -print0 |
+      xargs -0 -P "$JOBS" -n 4 clang-tidy -p build --quiet
+  else
+    echo "== lint: clang-tidy not installed, skipping"
+  fi
 fi
 
 echo "== tsan: configure + build parallel suites"

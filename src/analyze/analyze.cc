@@ -1,0 +1,448 @@
+#include "analyze/analyze.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "desc/normal_form.h"
+#include "subsume/subsume.h"
+#include "util/string_util.h"
+
+namespace classic::analyze {
+
+namespace {
+
+std::string SymName(const PassContext& ctx, Symbol s) {
+  return ctx.kb.vocab().symbols().Name(s);
+}
+
+std::string ConceptName(const PassContext& ctx, ConceptId cid) {
+  return SymName(ctx, ctx.kb.vocab().concept_info(cid).name);
+}
+
+/// Definition site of a named concept; degrades to "file only" and then
+/// to "no position" when the program (or the name) is unavailable.
+SourceLocation ConceptSite(const PassContext& ctx, const std::string& name) {
+  if (ctx.program != nullptr) {
+    auto it = ctx.program->concept_sites.find(name);
+    if (it != ctx.program->concept_sites.end()) return it->second;
+    return {ctx.program->file, 0, 0};
+  }
+  return {};
+}
+
+SourceLocation RuleSite(const PassContext& ctx, size_t rule_index) {
+  if (ctx.program != nullptr &&
+      rule_index < ctx.program->rule_sites.size()) {
+    return ctx.program->rule_sites[rule_index];
+  }
+  return ctx.program != nullptr ? SourceLocation{ctx.program->file, 0, 0}
+                                : SourceLocation{};
+}
+
+/// The s-expression body of a concept's define-concept form, when the
+/// program is available and the form has the expected shape.
+const sexpr::Value* DefBody(const PassContext& ctx, const std::string& name) {
+  if (ctx.program == nullptr) return nullptr;
+  auto it = ctx.program->concept_form_index.find(name);
+  if (it == ctx.program->concept_form_index.end()) return nullptr;
+  const sexpr::Value& form = ctx.program->forms[it->second];
+  if (!form.IsList() || form.size() != 3) return nullptr;
+  return &form.at(2);
+}
+
+SourceLocation LocationOf(const PassContext& ctx, const sexpr::Value& v) {
+  return {ctx.program != nullptr ? ctx.program->file : "", v.line(),
+          v.column()};
+}
+
+/// Depth-first search for the first sub-expression satisfying `pred`.
+const sexpr::Value* FindNode(
+    const sexpr::Value& v,
+    const std::function<bool(const sexpr::Value&)>& pred) {
+  if (pred(v)) return &v;
+  if (!v.IsList()) return nullptr;
+  for (const auto& item : v.items()) {
+    if (const sexpr::Value* hit = FindNode(item, pred)) return hit;
+  }
+  return nullptr;
+}
+
+/// Precise incoherence cause of a definition. Interned bottoms alias one
+/// canonical form whose reason reflects whichever collapse happened
+/// first anywhere in the store, so the pass re-normalizes the source
+/// through the non-interning normalizer to get this concept's own story.
+struct IncoherenceCause {
+  IncoherenceKind kind = IncoherenceKind::kOther;
+  std::string reason;
+};
+
+IncoherenceCause CauseOf(const PassContext& ctx, const ConceptInfo& info) {
+  auto fresh = ctx.precise->NormalizeConcept(info.source);
+  if (fresh.ok() && fresh.ValueOrDie()->incoherent()) {
+    return {fresh.ValueOrDie()->incoherence_kind(),
+            fresh.ValueOrDie()->incoherence_reason()};
+  }
+  return {info.normal_form->incoherence_kind(),
+          info.normal_form->incoherence_reason()};
+}
+
+// --- C001: incoherent concepts -------------------------------------------
+
+void PassIncoherence(const PassContext& ctx, std::vector<Diagnostic>* out) {
+  const Vocabulary& vocab = ctx.kb.vocab();
+  for (ConceptId cid = 0; cid < vocab.num_concepts(); ++cid) {
+    const ConceptInfo& info = vocab.concept_info(cid);
+    if (info.normal_form == nullptr || !info.normal_form->incoherent()) {
+      continue;
+    }
+    std::string name = ConceptName(ctx, cid);
+    IncoherenceCause cause = CauseOf(ctx, info);
+    out->push_back({Rule::kIncoherentConcept, ConceptSite(ctx, name), name,
+                    StrCat("concept ", name, " is unsatisfiable (",
+                           IncoherenceKindName(cause.kind),
+                           "): ", cause.reason)});
+  }
+}
+
+// --- C002: redundant conjuncts -------------------------------------------
+
+void PassRedundancy(const PassContext& ctx, std::vector<Diagnostic>* out) {
+  const Vocabulary& vocab = ctx.kb.vocab();
+  for (ConceptId cid = 0; cid < vocab.num_concepts(); ++cid) {
+    const ConceptInfo& info = vocab.concept_info(cid);
+    if (info.source == nullptr || info.source->kind() != DescKind::kAnd) {
+      continue;
+    }
+    if (info.normal_form == nullptr || info.normal_form->incoherent()) {
+      continue;  // C001 owns this concept
+    }
+    const std::vector<DescPtr>& conjuncts = info.source->conjuncts();
+    std::vector<NormalFormPtr> nfs;
+    nfs.reserve(conjuncts.size());
+    for (const DescPtr& c : conjuncts) {
+      auto nf = ctx.precise->NormalizeConcept(c);
+      if (!nf.ok()) return;  // defensive; the definition did normalize
+      nfs.push_back(std::move(nf).ValueOrDie());
+    }
+    std::string name = ConceptName(ctx, cid);
+    const sexpr::Value* body = DefBody(ctx, name);
+    const bool body_matches = body != nullptr && body->IsList() &&
+                              body->size() == conjuncts.size() + 1;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      size_t implied_by = conjuncts.size();
+      for (size_t j = 0; j < conjuncts.size() && implied_by == conjuncts.size();
+           ++j) {
+        if (j == i || nfs[j]->incoherent()) continue;
+        if (!Subsumes(*nfs[i], *nfs[j])) continue;
+        // Mutually subsuming conjuncts are duplicates; keep the first.
+        if (Subsumes(*nfs[j], *nfs[i]) && j > i) continue;
+        implied_by = j;
+      }
+      if (implied_by == conjuncts.size()) continue;
+      SourceLocation loc = body_matches ? LocationOf(ctx, body->at(i + 1))
+                                        : ConceptSite(ctx, name);
+      out->push_back(
+          {Rule::kRedundantConjunct, std::move(loc), name,
+           StrCat("conjunct ", conjuncts[i]->ToString(vocab.symbols()),
+                  " of concept ", name, " is implied by sibling conjunct ",
+                  conjuncts[implied_by]->ToString(vocab.symbols()),
+                  " and can be removed")});
+    }
+  }
+}
+
+// --- C003: duplicate concepts --------------------------------------------
+
+void PassDuplicates(const PassContext& ctx, std::vector<Diagnostic>* out) {
+  const Vocabulary& vocab = ctx.kb.vocab();
+  std::vector<NormalFormPtr> forms;
+  std::vector<ConceptId> ids;
+  for (ConceptId cid = 0; cid < vocab.num_concepts(); ++cid) {
+    const ConceptInfo& info = vocab.concept_info(cid);
+    // Incoherent definitions are all mutually equivalent (bottom); C001
+    // already reports each one.
+    if (info.normal_form == nullptr || info.normal_form->incoherent()) {
+      continue;
+    }
+    forms.push_back(info.normal_form);
+    ids.push_back(cid);
+  }
+  for (const std::vector<size_t>& cls : EquivalenceClasses(forms, ctx.index)) {
+    if (cls.size() < 2) continue;
+    std::string original = ConceptName(ctx, ids[cls[0]]);
+    for (size_t k = 1; k < cls.size(); ++k) {
+      std::string dup = ConceptName(ctx, ids[cls[k]]);
+      out->push_back({Rule::kDuplicateConcept, ConceptSite(ctx, dup), dup,
+                      StrCat("concept ", dup,
+                             " is equivalent to earlier concept ", original,
+                             "; the taxonomy treats them as synonyms")});
+    }
+  }
+}
+
+// --- C004/C005/C006: rule analysis ---------------------------------------
+
+void PassRules(const PassContext& ctx, std::vector<Diagnostic>* out) {
+  const Vocabulary& vocab = ctx.kb.vocab();
+  const std::vector<classic::Rule>& rules = ctx.kb.rules();
+
+  // Post-firing state of each live rule (antecedent ⊓ consequent), used
+  // for both the dead-rule check and the cycle edge relation.
+  std::vector<NormalFormPtr> fired(rules.size());
+  std::vector<std::string> names(rules.size());
+
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const classic::Rule& r = rules[i];
+    const ConceptInfo& ant_info = vocab.concept_info(r.antecedent_concept);
+    names[i] = SymName(ctx, ant_info.name);
+    std::string label = StrCat("rule #", i + 1, " on ", names[i]);
+    if (ant_info.normal_form->incoherent()) {
+      out->push_back({Rule::kDeadRule, RuleSite(ctx, i), names[i],
+                      StrCat(label,
+                             " can never fire: its antecedent is "
+                             "unsatisfiable")});
+      continue;
+    }
+    NormalFormPtr meet =
+        MeetNormalForms(*ant_info.normal_form, *r.consequent, vocab);
+    if (meet->incoherent()) {
+      out->push_back(
+          {Rule::kDeadRule, RuleSite(ctx, i), names[i],
+           StrCat(label,
+                  " always creates an inconsistency when it fires (",
+                  IncoherenceKindName(meet->incoherence_kind()),
+                  "): ", meet->incoherence_reason())});
+      continue;
+    }
+    fired[i] = std::move(meet);
+    if (Subsumes(*r.consequent, *ant_info.normal_form, ctx.index)) {
+      out->push_back({Rule::kNoopRule, RuleSite(ctx, i), names[i],
+                      StrCat(label,
+                             " is a no-op: its consequent is already "
+                             "entailed by its antecedent")});
+    }
+  }
+
+  // Cycle detection. Edge i -> j iff firing rule i can *newly* trigger
+  // rule j: rule j's antecedent covers i's post-firing state but not
+  // i's antecedent alone (so i's consequent is what enables j).
+  std::vector<std::vector<size_t>> edges(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (fired[i] == nullptr) continue;  // dead rules propagate nothing
+    const NormalForm& ant_i =
+        *vocab.concept_info(rules[i].antecedent_concept).normal_form;
+    for (size_t j = 0; j < rules.size(); ++j) {
+      if (j == i || fired[j] == nullptr) continue;
+      const NormalForm& ant_j =
+          *vocab.concept_info(rules[j].antecedent_concept).normal_form;
+      if (Subsumes(ant_j, *fired[i], ctx.index) &&
+          !Subsumes(ant_j, ant_i, ctx.index)) {
+        edges[i].push_back(j);
+      }
+    }
+  }
+
+  // Tarjan SCC; components of size >= 2 are propagation cycles. (A rule
+  // cannot self-loop: the edge relation requires that its own antecedent
+  // not already be covered.)
+  std::vector<int> index_of(rules.size(), -1), low(rules.size(), 0);
+  std::vector<bool> on_stack(rules.size(), false);
+  std::vector<size_t> stack;
+  int next_index = 0;
+  std::function<void(size_t)> strongconnect = [&](size_t v) {
+    index_of[v] = low[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (size_t w : edges[v]) {
+      if (index_of[w] < 0) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack[w]) {
+        low[v] = std::min(low[v], index_of[w]);
+      }
+    }
+    if (low[v] != index_of[v]) return;
+    std::vector<size_t> component;
+    while (true) {
+      size_t w = stack.back();
+      stack.pop_back();
+      on_stack[w] = false;
+      component.push_back(w);
+      if (w == v) break;
+    }
+    if (component.size() < 2) return;
+    std::sort(component.begin(), component.end());
+    std::string chain;
+    for (size_t w : component) {
+      if (!chain.empty()) chain += " -> ";
+      chain += names[w];
+    }
+    chain += StrCat(" -> ", names[component.front()]);
+    for (size_t w : component) {
+      out->push_back(
+          {Rule::kRuleCycle, RuleSite(ctx, w), names[w],
+           StrCat("rule #", w + 1, " on ", names[w],
+                  " participates in a propagation cycle (", chain,
+                  "); each rule still fires at most once per individual, "
+                  "but the chain is likely unintended")});
+    }
+  };
+  for (size_t v = 0; v < rules.size(); ++v) {
+    if (index_of[v] < 0 && fired[v] != nullptr) strongconnect(v);
+  }
+}
+
+// --- C008: unused definitions (program text required) --------------------
+
+void PassUnused(const PassContext& ctx, std::vector<Diagnostic>* out) {
+  if (ctx.program == nullptr) return;
+  auto used = [&](const std::string& name) {
+    auto it = ctx.program->mentions.find(name);
+    return it != ctx.program->mentions.end() && it->second > 0;
+  };
+  for (const auto& [name, loc] : ctx.program->concept_sites) {
+    if (ctx.program->broken_concepts.count(name) > 0) continue;
+    if (used(name)) continue;
+    out->push_back({Rule::kUnusedDefinition, loc, name,
+                    StrCat("concept ", name,
+                           " is defined but never referenced")});
+  }
+  for (const auto& [name, loc] : ctx.program->role_sites) {
+    if (used(name)) continue;
+    out->push_back({Rule::kUnusedDefinition, loc, name,
+                    StrCat("role ", name, " is defined but never used")});
+  }
+}
+
+// --- C009/C010: vacuous constructs on AT-MOST 0 roles --------------------
+
+void PassVacuous(const PassContext& ctx, std::vector<Diagnostic>* out) {
+  const Vocabulary& vocab = ctx.kb.vocab();
+  for (ConceptId cid = 0; cid < vocab.num_concepts(); ++cid) {
+    const ConceptInfo& info = vocab.concept_info(cid);
+    if (info.source == nullptr) continue;
+    std::vector<DescPtr> conjuncts;
+    if (info.source->kind() == DescKind::kAnd) {
+      conjuncts = info.source->conjuncts();
+    } else {
+      conjuncts = {info.source};
+    }
+
+    // Roles this definition forbids fillers on: explicit (AT-MOST 0 r)
+    // conjuncts, plus — when the concept is coherent — every at-most-0
+    // bound in the normal form (covers bounds inherited from named
+    // conjuncts and bounds derived by tightening).
+    std::set<Symbol> zero;
+    for (const DescPtr& c : conjuncts) {
+      if (c->kind() == DescKind::kAtMost && c->bound() == 0) {
+        zero.insert(c->role());
+      }
+    }
+    if (info.normal_form != nullptr && !info.normal_form->incoherent()) {
+      for (const auto& [rid, rr] : info.normal_form->roles()) {
+        if (rr.at_most == 0) zero.insert(vocab.role(rid).name);
+      }
+    }
+    if (zero.empty()) continue;
+
+    std::string name = ConceptName(ctx, cid);
+    const sexpr::Value* body = DefBody(ctx, name);
+    auto locate = [&](const char* head, const std::string& role_name) {
+      if (body != nullptr) {
+        const sexpr::Value* hit =
+            FindNode(*body, [&](const sexpr::Value& v) {
+              if (!v.IsList() || v.size() < 2 || !v.at(0).IsSymbol() ||
+                  v.at(0).text() != head) {
+                return false;
+              }
+              for (size_t i = 1; i < v.size(); ++i) {
+                const sexpr::Value& arg = v.at(i);
+                if (arg.IsSymbol() && arg.text() == role_name) return true;
+                if (arg.IsList()) {
+                  for (const auto& step : arg.items()) {
+                    if (step.IsSymbol() && step.text() == role_name) {
+                      return true;
+                    }
+                  }
+                }
+              }
+              return false;
+            });
+        if (hit != nullptr) return LocationOf(ctx, *hit);
+      }
+      return ConceptSite(ctx, name);
+    };
+
+    for (const DescPtr& c : conjuncts) {
+      if (c->kind() == DescKind::kAll && zero.count(c->role()) > 0 &&
+          (c->child() == nullptr || c->child()->kind() != DescKind::kThing)) {
+        std::string role_name = SymName(ctx, c->role());
+        out->push_back(
+            {Rule::kVacuousRestriction, locate("ALL", role_name), name,
+             StrCat("value restriction (ALL ", role_name, " ...) in concept ",
+                    name, " is vacuous: the role is restricted to AT-MOST 0 "
+                    "fillers")});
+      } else if (c->kind() == DescKind::kSameAs) {
+        std::set<Symbol> path_roles(c->path1().begin(), c->path1().end());
+        path_roles.insert(c->path2().begin(), c->path2().end());
+        for (Symbol r : path_roles) {
+          if (zero.count(r) == 0) continue;
+          std::string role_name = SymName(ctx, r);
+          out->push_back(
+              {Rule::kVacuousSameAs, locate("SAME-AS", role_name), name,
+               StrCat("SAME-AS in concept ", name,
+                      " traverses attribute ", role_name,
+                      ", which is restricted to AT-MOST 0 fillers")});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Pass>& StandardPasses() {
+  static const std::vector<Pass> kPasses = {
+      {"incoherence", PassIncoherence}, {"redundancy", PassRedundancy},
+      {"duplicates", PassDuplicates},   {"rules", PassRules},
+      {"unused", PassUnused},           {"vacuous", PassVacuous},
+  };
+  return kPasses;
+}
+
+std::vector<Diagnostic> RunPasses(const std::vector<Pass>& passes,
+                                  const KnowledgeBase& kb,
+                                  const AnalyzedProgram* program) {
+  // Analysis is read-only in the database sense: normalizing through the
+  // vocabulary only touches its internally synchronized interning caches
+  // — exactly what serving a query against a published snapshot does —
+  // hence the const_cast is confined to this one spot.
+  Normalizer::Options opts;
+  opts.intern_forms = false;
+  Normalizer precise(const_cast<Vocabulary*>(&kb.vocab()), opts);
+  SubsumptionIndex index;
+  PassContext ctx{kb, program, &precise, &index};
+
+  std::vector<Diagnostic> out;
+  if (program != nullptr) out = program->load_diagnostics;
+  for (const Pass& pass : passes) pass.run(ctx, &out);
+  SortDiagnostics(&out);
+  return out;
+}
+
+std::vector<Diagnostic> AnalyzeProgram(const AnalyzedProgram& program) {
+  return RunPasses(StandardPasses(), program.db->kb(), &program);
+}
+
+std::vector<Diagnostic> AnalyzeKb(const KnowledgeBase& kb) {
+  return RunPasses(StandardPasses(), kb, nullptr);
+}
+
+std::vector<Diagnostic> AnalyzeSnapshot(const KbSnapshot& snapshot) {
+  return AnalyzeKb(snapshot.kb());
+}
+
+}  // namespace classic::analyze

@@ -1,0 +1,72 @@
+// classic-lint: static analysis over a schema + KB program.
+//
+// The analyzer runs a fixed catalog of passes (DESIGN.md section 8) over
+// a KnowledgeBase — nothing is mutated; every check works on the normal
+// forms, the taxonomy and the rule set the database already maintains.
+// When the input came through LoadProgram, the passes additionally attach
+// real source positions and run the vocabulary-hygiene checks that need
+// the program text (unused definitions, reference counts).
+//
+// Entry points:
+//   AnalyzeProgram  — lint a loaded .classic/.clq program (CLI path).
+//   AnalyzeKb       — lint a live KnowledgeBase (no source positions).
+//   AnalyzeSnapshot — lint a published KbSnapshot (read-only by
+//                     construction; usable while serving queries).
+//
+// All entry points return the diagnostics in canonical sorted order.
+
+#pragma once
+
+#include <vector>
+
+#include "analyze/diagnostics.h"
+#include "analyze/program.h"
+#include "kb/epoch.h"
+#include "kb/knowledge_base.h"
+#include "subsume/subsume_index.h"
+
+namespace classic::analyze {
+
+/// \brief Everything a pass may look at. `program` is null when analyzing
+/// a bare KnowledgeBase; passes that need program text skip themselves.
+struct PassContext {
+  const KnowledgeBase& kb;
+  const AnalyzedProgram* program;
+  /// Non-interning normalizer bound to the analyzed vocabulary: passes
+  /// re-normalize definitions through it when they need the *precise*
+  /// incoherence cause (interned bottoms all alias one canonical form,
+  /// whose recorded reason is whichever collapse was interned first).
+  Normalizer* precise;
+  /// Scratch memo for the subsumption-heavy passes.
+  SubsumptionIndex* index;
+};
+
+/// \brief One analysis pass: a named function from context to findings.
+struct Pass {
+  const char* name;
+  void (*run)(const PassContext& ctx, std::vector<Diagnostic>* out);
+};
+
+/// \brief The standard pass list, in execution order: incoherence,
+/// redundancy, duplicates, rule analysis, vocabulary hygiene.
+const std::vector<Pass>& StandardPasses();
+
+/// \brief Runs `passes` over `kb` (plus `program`'s source maps and load
+/// diagnostics when non-null) and returns the sorted findings.
+std::vector<Diagnostic> RunPasses(const std::vector<Pass>& passes,
+                                  const KnowledgeBase& kb,
+                                  const AnalyzedProgram* program);
+
+/// \brief Standard passes over a loaded program.
+std::vector<Diagnostic> AnalyzeProgram(const AnalyzedProgram& program);
+
+/// \brief Standard passes over a bare KnowledgeBase (no positions, no
+/// text-dependent hygiene checks).
+std::vector<Diagnostic> AnalyzeKb(const KnowledgeBase& kb);
+
+/// \brief Standard passes over a published snapshot. Analysis is
+/// read-only, so this is safe while reader threads serve queries from
+/// the same snapshot.
+std::vector<Diagnostic> AnalyzeSnapshot(const KbSnapshot& snapshot);
+
+}  // namespace classic::analyze

@@ -1,0 +1,168 @@
+#include "analyze/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "util/string_util.h"
+
+namespace classic::analyze {
+
+const char* SeverityName(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+const RuleInfo& GetRuleInfo(Rule rule) {
+  static const RuleInfo kCatalog[] = {
+      {"C000", "parse-error", Severity::kError,
+       "the input is not a readable s-expression program"},
+      {"C001", "incoherent-concept", Severity::kError,
+       "a defined concept is unsatisfiable (normalizes to the bottom "
+       "concept)"},
+      {"C002", "redundant-conjunct", Severity::kWarning,
+       "a conjunct is implied by a sibling conjunct and adds nothing"},
+      {"C003", "duplicate-concept", Severity::kWarning,
+       "a definition is equivalent to an earlier named concept"},
+      {"C004", "dead-rule", Severity::kError,
+       "a rule can never fire, or firing it always creates an "
+       "inconsistency"},
+      {"C005", "noop-rule", Severity::kWarning,
+       "a rule's consequent is already entailed by its antecedent"},
+      {"C006", "rule-cycle", Severity::kWarning,
+       "a chain of rules forms a propagation cycle"},
+      {"C007", "undefined-reference", Severity::kError,
+       "a role/concept/individual/test is referenced but never defined"},
+      {"C008", "unused-definition", Severity::kWarning,
+       "a role or concept is defined but never referenced"},
+      {"C009", "vacuous-same-as", Severity::kWarning,
+       "a SAME-AS path traverses a role restricted to AT-MOST 0 fillers"},
+      {"C010", "vacuous-restriction", Severity::kWarning,
+       "a value restriction sits on a role restricted to AT-MOST 0 "
+       "fillers"},
+      {"C011", "invalid-operation", Severity::kError,
+       "an operation was rejected by the database (or is unknown)"},
+  };
+  return kCatalog[static_cast<size_t>(rule)];
+}
+
+const std::vector<Rule>& AllRules() {
+  static const std::vector<Rule> kAll = {
+      Rule::kParseError,         Rule::kIncoherentConcept,
+      Rule::kRedundantConjunct,  Rule::kDuplicateConcept,
+      Rule::kDeadRule,           Rule::kNoopRule,
+      Rule::kRuleCycle,          Rule::kUndefinedReference,
+      Rule::kUnusedDefinition,   Rule::kVacuousSameAs,
+      Rule::kVacuousRestriction, Rule::kInvalidOperation,
+  };
+  return kAll;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::sort(diags->begin(), diags->end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.loc.file, a.loc.line, a.loc.column,
+                              a.rule, a.subject, a.message) <
+                     std::tie(b.loc.file, b.loc.line, b.loc.column,
+                              b.rule, b.subject, b.message);
+            });
+  // Passes are independent and may re-derive the same finding; one copy
+  // is enough.
+  diags->erase(std::unique(diags->begin(), diags->end(),
+                           [](const Diagnostic& a, const Diagnostic& b) {
+                             return a.rule == b.rule &&
+                                    a.loc.file == b.loc.file &&
+                                    a.loc.line == b.loc.line &&
+                                    a.loc.column == b.loc.column &&
+                                    a.subject == b.subject &&
+                                    a.message == b.message;
+                           }),
+               diags->end());
+}
+
+std::string RenderText(const Diagnostic& d) {
+  const RuleInfo& info = GetRuleInfo(d.rule);
+  std::string out;
+  if (!d.loc.file.empty()) {
+    out += d.loc.file;
+    if (d.loc.line != 0) {
+      out += StrCat(":", d.loc.line, ":", d.loc.column);
+    }
+    out += ": ";
+  }
+  out += StrCat(SeverityName(info.severity), ": ", d.message, " [", info.id,
+                " ", info.name, "]");
+  return out;
+}
+
+std::string RenderText(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += RenderText(d);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderJson(const std::vector<Diagnostic>& diags) {
+  std::string out = "[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    const RuleInfo& info = GetRuleInfo(d.rule);
+    if (i > 0) out += ",";
+    out += StrCat("\n  {\"rule\": \"", info.id, "\", \"name\": \"", info.name,
+                  "\", \"severity\": \"", SeverityName(info.severity),
+                  "\", \"file\": \"", JsonEscape(d.loc.file),
+                  "\", \"line\": ", d.loc.line, ", \"column\": ", d.loc.column,
+                  ", \"subject\": \"", JsonEscape(d.subject),
+                  "\", \"message\": \"", JsonEscape(d.message), "\"}");
+  }
+  out += diags.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity() == Severity::kError) return true;
+  }
+  return false;
+}
+
+}  // namespace classic::analyze

@@ -1,0 +1,93 @@
+// Diagnostics: the output vocabulary of classic-lint.
+//
+// Every finding of the static analyzer is a Diagnostic: a stable rule id
+// (C001, C002, ...), a severity, a source location (file/line/column,
+// 0 = unknown — e.g. when analyzing an in-memory knowledge base), the
+// schema object the finding is about, and a human-readable message.
+//
+// Output is deterministic by construction: diagnostics are sorted by
+// (file, line, column, rule, subject, message) before rendering, so
+// golden-file tests and CI diffs are stable across runs and thread
+// counts. Text and JSON renderings carry the same information.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace classic::analyze {
+
+enum class Severity { kError, kWarning };
+
+/// \brief "error" or "warning".
+const char* SeverityName(Severity s);
+
+/// \brief The rule catalog. Ids are stable across releases: new rules
+/// append, retired rules leave a hole.
+enum class Rule {
+  kParseError,          // C000: file is not a readable program
+  kIncoherentConcept,   // C001: defined concept is unsatisfiable
+  kRedundantConjunct,   // C002: conjunct implied by a sibling conjunct
+  kDuplicateConcept,    // C003: definition equivalent to an earlier concept
+  kDeadRule,            // C004: rule can never fire / never fire cleanly
+  kNoopRule,            // C005: consequent already entailed by antecedent
+  kRuleCycle,           // C006: rule chain forms a propagation cycle
+  kUndefinedReference,  // C007: name referenced but never defined
+  kUnusedDefinition,    // C008: name defined but never referenced
+  kVacuousSameAs,       // C009: SAME-AS path through an AT-MOST 0 role
+  kVacuousRestriction,  // C010: ALL restriction on an AT-MOST 0 role
+  kInvalidOperation,    // C011: operation rejected by the database
+};
+
+struct RuleInfo {
+  /// Stable machine-readable id ("C001").
+  const char* id;
+  /// Stable slug ("incoherent-concept").
+  const char* name;
+  Severity severity;
+  /// One-line definition for --rules output and the docs.
+  const char* summary;
+};
+
+const RuleInfo& GetRuleInfo(Rule rule);
+
+/// All rules, in id order.
+const std::vector<Rule>& AllRules();
+
+/// \brief Where a finding points. line/column are 1-based; 0 = unknown.
+struct SourceLocation {
+  std::string file;
+  uint32_t line = 0;
+  uint32_t column = 0;
+};
+
+struct Diagnostic {
+  Rule rule = Rule::kParseError;
+  SourceLocation loc;
+  /// The schema object the finding is about (concept/role/rule name).
+  std::string subject;
+  std::string message;
+
+  Severity severity() const { return GetRuleInfo(rule).severity; }
+};
+
+/// \brief Canonical order: (file, line, column, rule id, subject,
+/// message). Every analysis entry point sorts before returning.
+void SortDiagnostics(std::vector<Diagnostic>* diags);
+
+/// \brief "file:line:col: severity: message [C001 incoherent-concept]".
+/// Position segments are omitted when unknown.
+std::string RenderText(const Diagnostic& d);
+
+/// \brief One RenderText line per diagnostic, newline-terminated; ""
+/// when empty.
+std::string RenderText(const std::vector<Diagnostic>& diags);
+
+/// \brief Deterministic JSON array of diagnostic objects.
+std::string RenderJson(const std::vector<Diagnostic>& diags);
+
+/// \brief True if any diagnostic is error-severity.
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+}  // namespace classic::analyze

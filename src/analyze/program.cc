@@ -1,0 +1,366 @@
+#include "analyze/program.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "desc/vocabulary.h"
+#include "util/string_util.h"
+
+namespace classic::analyze {
+
+namespace {
+
+/// One name occurrence inside a description, with the sexpr node it came
+/// from (for its source position).
+struct NameRef {
+  enum class Kind { kConcept, kRole, kIndividual, kTest };
+  Kind kind;
+  const sexpr::Value* at;
+};
+
+const char* RefKindName(NameRef::Kind k) {
+  switch (k) {
+    case NameRef::Kind::kConcept:
+      return "concept";
+    case NameRef::Kind::kRole:
+      return "role";
+    case NameRef::Kind::kIndividual:
+      return "individual";
+    case NameRef::Kind::kTest:
+      return "test function";
+  }
+  return "name";
+}
+
+bool IsBuiltinConceptName(const std::string& name) {
+  return name == "THING" || name == "NOTHING" || name == "CLASSIC-THING" ||
+         name == "HOST-THING" || name == "INTEGER" || name == "REAL" ||
+         name == "NUMBER" || name == "STRING" || name == "BOOLEAN";
+}
+
+void AddRef(NameRef::Kind kind, const sexpr::Value& v,
+            std::vector<NameRef>* out) {
+  if (!v.IsSymbol()) return;  // malformed; the executor will report it
+  if (kind == NameRef::Kind::kIndividual &&
+      (v.text() == "#t" || v.text() == "#f")) {
+    return;  // host boolean literals
+  }
+  if (kind == NameRef::Kind::kConcept && IsBuiltinConceptName(v.text())) {
+    return;
+  }
+  out->push_back({kind, &v});
+}
+
+/// Collects every role/concept/individual/test reference of a
+/// description expression, mirroring the Appendix A grammar the parser
+/// accepts (including the EXACTLY macros). Malformed shapes are walked
+/// best-effort; the executing database reports them precisely.
+void CollectDescriptionRefs(const sexpr::Value& v, std::vector<NameRef>* out) {
+  if (v.IsSymbol()) {
+    AddRef(NameRef::Kind::kConcept, v, out);
+    return;
+  }
+  if (!v.IsList() || v.size() == 0 || !v.at(0).IsSymbol()) return;
+  const std::string& head = v.at(0).text();
+
+  if (head == "PRIMITIVE" && v.size() >= 2) {
+    CollectDescriptionRefs(v.at(1), out);  // at(2) is a fresh index
+  } else if (head == "DISJOINT-PRIMITIVE" && v.size() >= 2) {
+    CollectDescriptionRefs(v.at(1), out);  // group/index are fresh
+  } else if (head == "ONE-OF") {
+    for (size_t i = 1; i < v.size(); ++i) {
+      AddRef(NameRef::Kind::kIndividual, v.at(i), out);
+    }
+  } else if (head == "ALL" && v.size() >= 3) {
+    AddRef(NameRef::Kind::kRole, v.at(1), out);
+    CollectDescriptionRefs(v.at(2), out);
+  } else if ((head == "AT-LEAST" || head == "AT-MOST" || head == "EXACTLY") &&
+             v.size() >= 3) {
+    AddRef(NameRef::Kind::kRole, v.at(2), out);
+  } else if ((head == "EXACTLY-ONE" || head == "CLOSE") && v.size() >= 2) {
+    AddRef(NameRef::Kind::kRole, v.at(1), out);
+  } else if (head == "SAME-AS") {
+    for (size_t i = 1; i < v.size(); ++i) {
+      if (!v.at(i).IsList()) continue;
+      for (const auto& step : v.at(i).items()) {
+        AddRef(NameRef::Kind::kRole, step, out);
+      }
+    }
+  } else if (head == "FILLS") {
+    if (v.size() >= 2) AddRef(NameRef::Kind::kRole, v.at(1), out);
+    for (size_t i = 2; i < v.size(); ++i) {
+      AddRef(NameRef::Kind::kIndividual, v.at(i), out);
+    }
+  } else if (head == "AND") {
+    for (size_t i = 1; i < v.size(); ++i) {
+      CollectDescriptionRefs(v.at(i), out);
+    }
+  } else if (head == "TEST" && v.size() >= 2) {
+    AddRef(NameRef::Kind::kTest, v.at(1), out);
+  }
+}
+
+bool IsDefined(const Vocabulary& vocab, const NameRef& ref) {
+  Symbol s = vocab.symbols().Intern(ref.at->text());
+  switch (ref.kind) {
+    case NameRef::Kind::kConcept:
+      return vocab.HasConcept(s);
+    case NameRef::Kind::kRole:
+      return vocab.FindRole(s).ok();
+    case NameRef::Kind::kIndividual:
+      return vocab.FindIndividual(s).ok();
+    case NameRef::Kind::kTest:
+      return vocab.HasTest(s);
+  }
+  return false;
+}
+
+/// Operator heads the loader deliberately does not execute: queries and
+/// introspection cannot change the scratch database, and the persistence
+/// operators would perform I/O, which a lint run must never do. Their
+/// symbols still feed the mention counts.
+bool IsReadOnlyHead(const std::string& head) {
+  static const std::set<std::string> kReadOnly = {
+      "ask",           "ask-possible",       "ask-description",
+      "summarize",     "subsumes",           "equivalent",
+      "coherent",      "instances",          "msc",
+      "describe",      "describe-told",      "fillers",
+      "closed?",       "parents",            "children",
+      "ancestors",     "descendants",        "concept-aspect",
+      "ind-aspect",    "stats",              "subsumed-concepts",
+      "subsuming-concepts",                  "taxonomy",
+      "taxonomy-dot",  "why",                "why-subsumes",
+      "select",        "export-csv",         "save-snapshot",
+      "checkpoint",    "load",
+  };
+  return kReadOnly.count(head) > 0;
+}
+
+/// The loader proper; one instance per program.
+class Loader {
+ public:
+  Loader(std::string file_label, AnalyzedProgram* out) : out_(out) {
+    out_->file = std::move(file_label);
+    out_->db = std::make_unique<Database>();
+  }
+
+  void Run(const std::string& text) {
+    auto parsed = sexpr::ParseAll(text);
+    if (!parsed.ok()) {
+      Report(Rule::kParseError, Location(0, 0), "",
+             parsed.status().message());
+      return;
+    }
+    out_->forms = std::move(parsed).ValueOrDie();
+    for (size_t i = 0; i < out_->forms.size(); ++i) {
+      CountMentions(i);
+      ExecuteForm(i);
+    }
+  }
+
+ private:
+  SourceLocation Location(uint32_t line, uint32_t column) const {
+    return {out_->file, line, column};
+  }
+
+  SourceLocation LocationOf(const sexpr::Value& v) const {
+    return Location(v.line(), v.column());
+  }
+
+  void Report(Rule rule, SourceLocation loc, std::string subject,
+              std::string message) {
+    out_->load_diagnostics.push_back(
+        {rule, std::move(loc), std::move(subject), std::move(message)});
+  }
+
+  /// Every symbol of form i counts as a mention, except the operator
+  /// head and the position a defining operator binds (so a definition
+  /// does not count as its own use).
+  void CountMentions(size_t form_index) {
+    const sexpr::Value& op = out_->forms[form_index];
+    if (!op.IsList() || op.size() == 0 || !op.at(0).IsSymbol()) return;
+    const std::string& head = op.at(0).text();
+    const bool binds_name = head == "define-role" ||
+                            head == "define-attribute" ||
+                            head == "define-concept" || head == "create-ind";
+    for (size_t i = 1; i < op.size(); ++i) {
+      if (binds_name && i == 1) continue;
+      CountSymbols(op.at(i));
+    }
+  }
+
+  void CountSymbols(const sexpr::Value& v) {
+    if (v.IsSymbol()) {
+      ++out_->mentions[v.text()];
+    } else if (v.IsList()) {
+      for (const auto& item : v.items()) CountSymbols(item);
+    }
+  }
+
+  /// Pre-checks every name referenced by a description sub-expression.
+  /// Returns true when the expression only references defined names (so
+  /// the operation can execute). Undefined names are each reported at
+  /// their own position; names belonging to broken definitions are
+  /// already reported at their definition site and stay silent.
+  bool CheckRefs(const sexpr::Value& expr, bool as_individual_expr) {
+    std::vector<NameRef> refs;
+    if (as_individual_expr) {
+      // Individual expressions share the concept grammar plus CLOSE;
+      // the walker already accepts both.
+    }
+    CollectDescriptionRefs(expr, &refs);
+    bool executable = true;
+    const Vocabulary& vocab = out_->db->kb().vocab();
+    for (const NameRef& ref : refs) {
+      if (IsDefined(vocab, ref)) continue;
+      executable = false;
+      if (ref.kind == NameRef::Kind::kConcept &&
+          out_->broken_concepts.count(ref.at->text()) > 0) {
+        continue;  // its definition site already carries the errors
+      }
+      Report(Rule::kUndefinedReference, LocationOf(*ref.at), ref.at->text(),
+             StrCat(RefKindName(ref.kind), " ", ref.at->text(),
+                    " is referenced but never defined"));
+    }
+    return executable;
+  }
+
+  void ExecuteForm(size_t form_index) {
+    const sexpr::Value& op = out_->forms[form_index];
+    if (!op.IsList() || op.size() == 0 || !op.at(0).IsSymbol()) {
+      Report(Rule::kInvalidOperation, LocationOf(op), "",
+             StrCat("not an operation: ", op.ToString()));
+      return;
+    }
+    const std::string& head = op.at(0).text();
+
+    if (head == "define-role" || head == "define-attribute") {
+      if (op.size() != 2 || !op.at(1).IsSymbol()) {
+        Report(Rule::kInvalidOperation, LocationOf(op), "",
+               StrCat(head, " needs a role name: ", op.ToString()));
+        return;
+      }
+      const std::string& name = op.at(1).text();
+      Status st = head == "define-role" ? out_->db->DefineRole(name)
+                                        : out_->db->DefineAttribute(name);
+      if (!st.ok()) {
+        Report(Rule::kInvalidOperation, LocationOf(op), name, st.message());
+        return;
+      }
+      out_->role_sites.emplace(name, LocationOf(op.at(1)));
+      return;
+    }
+
+    if (head == "define-concept") {
+      if (op.size() != 3 || !op.at(1).IsSymbol()) {
+        Report(Rule::kInvalidOperation, LocationOf(op), "",
+               StrCat("bad define-concept: ", op.ToString()));
+        return;
+      }
+      const std::string& name = op.at(1).text();
+      out_->concept_sites.emplace(name, LocationOf(op.at(1)));
+      out_->concept_form_index.emplace(name, form_index);
+      if (!CheckRefs(op.at(2), /*as_individual_expr=*/false)) {
+        out_->broken_concepts.insert(name);
+        return;
+      }
+      Status st = out_->db->DefineConcept(name, op.at(2).ToString());
+      if (!st.ok()) {
+        Report(Rule::kInvalidOperation, LocationOf(op), name, st.message());
+        out_->broken_concepts.insert(name);
+      }
+      return;
+    }
+
+    if (head == "assert-rule") {
+      if (op.size() != 3 || !op.at(1).IsSymbol()) {
+        Report(Rule::kInvalidOperation, LocationOf(op), "",
+               StrCat("bad assert-rule: ", op.ToString()));
+        return;
+      }
+      const std::string& name = op.at(1).text();
+      bool ok = CheckRefs(op.at(1), /*as_individual_expr=*/false);
+      ok = CheckRefs(op.at(2), /*as_individual_expr=*/false) && ok;
+      if (!ok) return;
+      Status st = out_->db->AssertRule(name, op.at(2).ToString());
+      if (!st.ok()) {
+        Report(Rule::kInvalidOperation, LocationOf(op), name, st.message());
+        return;
+      }
+      out_->rule_sites.push_back(LocationOf(op));
+      return;
+    }
+
+    if (head == "create-ind") {
+      if ((op.size() != 2 && op.size() != 3) || !op.at(1).IsSymbol()) {
+        Report(Rule::kInvalidOperation, LocationOf(op), "",
+               StrCat("bad create-ind: ", op.ToString()));
+        return;
+      }
+      const std::string& name = op.at(1).text();
+      if (op.size() == 3 && !CheckRefs(op.at(2), /*as_individual_expr=*/true)) {
+        return;
+      }
+      Status st = op.size() == 2
+                      ? out_->db->CreateIndividual(name)
+                      : out_->db->CreateIndividual(name, op.at(2).ToString());
+      if (!st.ok()) {
+        Report(Rule::kInvalidOperation, LocationOf(op), name, st.message());
+      }
+      return;
+    }
+
+    if (head == "assert-ind" || head == "retract-ind") {
+      if (op.size() != 3 || !op.at(1).IsSymbol()) {
+        Report(Rule::kInvalidOperation, LocationOf(op), "",
+               StrCat("bad ", head, ": ", op.ToString()));
+        return;
+      }
+      const std::string& name = op.at(1).text();
+      bool ok = true;
+      if (!out_->db->FindIndividual(name).ok()) {
+        Report(Rule::kUndefinedReference, LocationOf(op.at(1)), name,
+               StrCat("individual ", name, " is referenced but never defined"));
+        ok = false;
+      }
+      ok = CheckRefs(op.at(2), /*as_individual_expr=*/true) && ok;
+      if (!ok) return;
+      Status st = head == "assert-ind"
+                      ? out_->db->AssertInd(name, op.at(2).ToString())
+                      : out_->db->RetractInd(name, op.at(2).ToString());
+      if (!st.ok()) {
+        Report(Rule::kInvalidOperation, LocationOf(op), name, st.message());
+      }
+      return;
+    }
+
+    if (IsReadOnlyHead(head)) return;  // mention counting is enough
+
+    Report(Rule::kInvalidOperation, LocationOf(op), head,
+           StrCat("unknown operation: ", head));
+  }
+
+  AnalyzedProgram* out_;
+};
+
+}  // namespace
+
+Result<AnalyzedProgram> LoadProgram(std::string file_label,
+                                    const std::string& text) {
+  AnalyzedProgram program;
+  Loader loader(std::move(file_label), &program);
+  loader.Run(text);
+  return program;
+}
+
+Result<AnalyzedProgram> LoadProgramFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::IOError(StrCat("cannot open ", path));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadProgram(path, buf.str());
+}
+
+}  // namespace classic::analyze

@@ -16,6 +16,7 @@ const RoleRestriction& TrivialRole() {
 
 NormalForm::NormalForm(const NormalForm& other)
     : incoherent_(other.incoherent_),
+      incoherence_kind_(other.incoherence_kind_),
       incoherence_reason_(other.incoherence_reason_),
       atoms_(other.atoms_),
       enumeration_(other.enumeration_),
@@ -27,6 +28,7 @@ NormalForm& NormalForm::operator=(const NormalForm& other) {
   if (this == &other) return *this;
   nf_id_ = kNoNfId;
   incoherent_ = other.incoherent_;
+  incoherence_kind_ = other.incoherence_kind_;
   incoherence_reason_ = other.incoherence_reason_;
   atoms_ = other.atoms_;
   enumeration_ = other.enumeration_;
@@ -115,8 +117,13 @@ size_t NormalForm::Hash() const {
 }
 
 void NormalForm::MarkIncoherent(std::string reason) {
+  MarkIncoherent(IncoherenceKind::kOther, std::move(reason));
+}
+
+void NormalForm::MarkIncoherent(IncoherenceKind kind, std::string reason) {
   if (incoherent_) return;
   incoherent_ = true;
+  incoherence_kind_ = kind;
   incoherence_reason_ = std::move(reason);
 }
 
@@ -125,7 +132,7 @@ void NormalForm::AddAtom(AtomId atom, const Vocabulary& vocab) {
     if (atoms_.count(a) > 0) return;
     for (AtomId existing : atoms_) {
       if (vocab.AtomsDisjoint(existing, a)) {
-        MarkIncoherent(StrCat(
+        MarkIncoherent(IncoherenceKind::kDisjointAtoms, StrCat(
             "disjoint primitives conflict: ",
             vocab.symbols().Name(vocab.atom(existing).name), " vs ",
             vocab.symbols().Name(vocab.atom(a).name)));
@@ -238,7 +245,8 @@ bool NormalForm::TightenOnce(const Vocabulary& vocab) {
       }
     }
     if (enumeration_->empty()) {
-      MarkIncoherent("enumeration is empty");
+      MarkIncoherent(IncoherenceKind::kEmptyEnumeration,
+                     "enumeration is empty");
       return true;
     }
   }
@@ -284,7 +292,8 @@ bool NormalForm::TightenOnce(const Vocabulary& vocab) {
     }
     // Cardinality consistency.
     if (rr.at_least > rr.at_most) {
-      MarkIncoherent(StrCat("role ", role_name, ": at-least ", rr.at_least,
+      MarkIncoherent(IncoherenceKind::kCardinality,
+                     StrCat("role ", role_name, ": at-least ", rr.at_least,
                             " exceeds at-most ", rr.at_most));
       return true;
     }
@@ -304,14 +313,15 @@ bool NormalForm::TightenOnce(const Vocabulary& vocab) {
       const NormalForm& vr = *rr.value_restriction;
       for (IndId f : rr.fillers) {
         if (vr.enumeration() && vr.enumeration()->count(f) == 0) {
-          MarkIncoherent(StrCat("role ", role_name, ": filler ",
+          MarkIncoherent(IncoherenceKind::kFillerClash,
+                         StrCat("role ", role_name, ": filler ",
                                 vocab.IndividualName(f),
                                 " outside the enumerated value restriction"));
           return true;
         }
         for (AtomId a : vr.atoms()) {
           if (!vocab.AtomCompatibleWithInd(a, f)) {
-            MarkIncoherent(StrCat(
+            MarkIncoherent(IncoherenceKind::kFillerClash, StrCat(
                 "role ", role_name, ": filler ", vocab.IndividualName(f),
                 " is intrinsically incompatible with the value restriction"));
             return true;
@@ -373,13 +383,36 @@ bool NormalForm::TightenOnce(const Vocabulary& vocab) {
         }
       }
       if (merged.value_restriction && merged.value_restriction->incoherent()) {
-        MarkIncoherent("co-referent attributes have incompatible restrictions");
+        MarkIncoherent(IncoherenceKind::kCorefClash,
+                       "co-referent attributes have incompatible restrictions");
         return true;
       }
     }
   }
 
   return changed;
+}
+
+const char* IncoherenceKindName(IncoherenceKind kind) {
+  switch (kind) {
+    case IncoherenceKind::kNone:
+      return "none";
+    case IncoherenceKind::kNothing:
+      return "nothing";
+    case IncoherenceKind::kCardinality:
+      return "cardinality";
+    case IncoherenceKind::kDisjointAtoms:
+      return "disjoint-atoms";
+    case IncoherenceKind::kEmptyEnumeration:
+      return "empty-enumeration";
+    case IncoherenceKind::kFillerClash:
+      return "filler-clash";
+    case IncoherenceKind::kCorefClash:
+      return "coref-clash";
+    case IncoherenceKind::kOther:
+      return "other";
+  }
+  return "other";
 }
 
 const NormalForm& ThingNormalForm() {
@@ -394,7 +427,9 @@ NormalFormPtr ThingNormalFormPtr() {
 
 void MergeNormalFormInto(NormalForm* dst, const NormalForm& src,
                          const Vocabulary& vocab) {
-  if (src.incoherent()) dst->MarkIncoherent(src.incoherence_reason());
+  if (src.incoherent()) {
+    dst->MarkIncoherent(src.incoherence_kind(), src.incoherence_reason());
+  }
   for (AtomId atom : src.atoms()) dst->AddAtom(atom, vocab);
   if (src.enumeration()) dst->IntersectEnumeration(*src.enumeration());
   for (const auto& [role, rb] : src.roles()) {

@@ -34,6 +34,35 @@ namespace classic {
 class NormalForm;
 using NormalFormPtr = std::shared_ptr<const NormalForm>;
 
+/// \brief Why a normal form collapsed to the bottom concept. The static
+/// analyzer keys on this (rule selection and machine-readable output);
+/// the free-text incoherence reason stays the human-facing message.
+enum class IncoherenceKind {
+  /// Not incoherent.
+  kNone,
+  /// The literal NOTHING concept.
+  kNothing,
+  /// AT-LEAST n > AT-MOST m on one role (cardinality clash).
+  kCardinality,
+  /// Two atoms from one disjointness group (includes host-type clashes
+  /// such as INTEGER vs STRING).
+  kDisjointAtoms,
+  /// ONE-OF enumeration emptied by intersection / intrinsic filtering.
+  kEmptyEnumeration,
+  /// A known filler violates the role's value restriction (e.g.
+  /// ALL r NUMBER with FILLS r "str").
+  kFillerClash,
+  /// Co-referent attributes carry incompatible restrictions.
+  kCorefClash,
+  /// Inherited from another incoherent form, or marked by a caller that
+  /// supplied no structured kind.
+  kOther,
+};
+
+/// \brief Stable lint-style name of an incoherence kind ("cardinality",
+/// "disjoint-atoms", ...).
+const char* IncoherenceKindName(IncoherenceKind kind);
+
 /// \brief The constraints a normal form places on one role.
 struct RoleRestriction {
   /// Lower cardinality bound (AT-LEAST, or implied by known fillers).
@@ -74,6 +103,8 @@ class NormalForm {
 
   bool incoherent() const { return incoherent_; }
   const std::string& incoherence_reason() const { return incoherence_reason_; }
+  /// Structured cause of incoherence (kNone while coherent).
+  IncoherenceKind incoherence_kind() const { return incoherence_kind_; }
 
   const std::set<AtomId>& atoms() const { return atoms_; }
   const std::optional<std::set<IndId>>& enumeration() const {
@@ -113,6 +144,7 @@ class NormalForm {
   // --- Build interface (used by Normalizer / propagation engine) ---------
 
   void MarkIncoherent(std::string reason);
+  void MarkIncoherent(IncoherenceKind kind, std::string reason);
   /// Adds an atom together with its built-in implications; detects
   /// disjointness conflicts against atoms already present.
   void AddAtom(AtomId atom, const Vocabulary& vocab);
@@ -137,6 +169,7 @@ class NormalForm {
 
   NfId nf_id_ = kNoNfId;
   bool incoherent_ = false;
+  IncoherenceKind incoherence_kind_ = IncoherenceKind::kNone;
   std::string incoherence_reason_;
   std::set<AtomId> atoms_;
   std::optional<std::set<IndId>> enumeration_;

@@ -52,7 +52,8 @@ Status Normalizer::Apply(const Description& d, bool allow_close,
       return Status::OK();
 
     case DescKind::kNothing:
-      nf->MarkIncoherent("the NOTHING concept is unsatisfiable");
+      nf->MarkIncoherent(IncoherenceKind::kNothing,
+                         "the NOTHING concept is unsatisfiable");
       return Status::OK();
 
     case DescKind::kClassicThing:

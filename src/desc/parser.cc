@@ -10,8 +10,9 @@ Status Arity(const sexpr::Value& v, size_t min, size_t max,
              const char* form) {
   size_t args = v.size() - 1;
   if (args < min || args > max) {
-    return Status::InvalidArgument(
-        StrCat("bad arity for ", form, ": ", v.ToString()));
+    return Status::InvalidArgument(StrCat("bad arity for ", form, ": ",
+                                          v.ToString(),
+                                          sexpr::LocationSuffix(v)));
   }
   return Status::OK();
 }
@@ -20,7 +21,7 @@ Result<uint32_t> ParseBound(const sexpr::Value& v, const char* form) {
   if (!v.IsInteger() || v.integer() < 0) {
     return Status::InvalidArgument(
         StrCat(form, " expects a non-negative integer bound, got ",
-               v.ToString()));
+               v.ToString(), sexpr::LocationSuffix(v)));
   }
   return static_cast<uint32_t>(v.integer());
 }
@@ -28,8 +29,9 @@ Result<uint32_t> ParseBound(const sexpr::Value& v, const char* form) {
 Result<Symbol> ParseName(const sexpr::Value& v, SymbolTable* symbols,
                          const char* what) {
   if (!v.IsSymbol()) {
-    return Status::InvalidArgument(
-        StrCat("expected ", what, ", got ", v.ToString()));
+    return Status::InvalidArgument(StrCat("expected ", what, ", got ",
+                                          v.ToString(),
+                                          sexpr::LocationSuffix(v)));
   }
   return symbols->Intern(v.text());
 }
@@ -39,7 +41,7 @@ Result<std::vector<Symbol>> ParsePath(const sexpr::Value& v,
   if (!v.IsList() || v.size() == 0) {
     return Status::InvalidArgument(
         StrCat("SAME-AS path must be a non-empty list of roles, got ",
-               v.ToString()));
+               v.ToString(), sexpr::LocationSuffix(v)));
   }
   std::vector<Symbol> path;
   for (const auto& item : v.items()) {
@@ -65,7 +67,8 @@ Result<IndRef> ParseIndRef(const sexpr::Value& v, SymbolTable* symbols) {
       return IndRef::Named(symbols->Intern(v.text()));
     case sexpr::Kind::kList:
       return Status::InvalidArgument(
-          StrCat("expected an individual, got a list: ", v.ToString()));
+          StrCat("expected an individual, got a list: ", v.ToString(),
+                 sexpr::LocationSuffix(v)));
   }
   return Status::Internal("unhandled sexpr kind");
 }
@@ -90,8 +93,9 @@ Result<DescPtr> ParseDescription(const sexpr::Value& v,
     return Description::ConceptName(symbols->Intern(name));
   }
   if (!v.IsList() || v.size() == 0 || !v.at(0).IsSymbol()) {
-    return Status::InvalidArgument(
-        StrCat("not a concept expression: ", v.ToString()));
+    return Status::InvalidArgument(StrCat("not a concept expression: ",
+                                          v.ToString(),
+                                          sexpr::LocationSuffix(v)));
   }
   const std::string& head = v.at(0).text();
 
@@ -153,8 +157,8 @@ Result<DescPtr> ParseDescription(const sexpr::Value& v,
   if (head == "FILLS") {
     if (v.size() < 3) {
       return Status::InvalidArgument(
-          StrCat("FILLS needs a role and at least one filler: ",
-                 v.ToString()));
+          StrCat("FILLS needs a role and at least one filler: ", v.ToString(),
+                 sexpr::LocationSuffix(v)));
     }
     CLASSIC_ASSIGN_OR_RETURN(Symbol role,
                              ParseName(v.at(1), symbols, "role name"));
@@ -208,7 +212,8 @@ Result<DescPtr> ParseDescription(const sexpr::Value& v,
         {Description::AtLeast(1, role), Description::AtMost(1, role)});
   }
 
-  return Status::InvalidArgument(StrCat("unknown constructor: ", head));
+  return Status::InvalidArgument(StrCat("unknown constructor: ", head,
+                                        sexpr::LocationSuffix(v)));
 }
 
 Result<DescPtr> ParseDescriptionString(const std::string& text,

@@ -48,7 +48,9 @@ class PropagationEngine {
     if (merged->incoherent()) {
       return Status::Inconsistent(
           StrCat("update would make ", kb_->vocab_.IndividualName(ind),
-                 " incoherent: ", merged->incoherence_reason()));
+                 " incoherent (",
+                 IncoherenceKindName(merged->incoherence_kind()),
+                 "): ", merged->incoherence_reason()));
     }
     // Interning makes pointer identity a complete no-change test: both
     // sides come from the store, so structural equality implies the same
@@ -489,8 +491,9 @@ Status KnowledgeBase::ApplyIndividualExpr(PropagationEngine* engine, IndId ind,
     if (nf->incoherent()) {
       ++stats_.rejected_updates;
       return Status::Inconsistent(
-          StrCat("asserted expression is itself incoherent: ",
-                 nf->incoherence_reason()));
+          StrCat("asserted expression is itself incoherent (",
+                 IncoherenceKindName(nf->incoherence_kind()),
+                 "): ", nf->incoherence_reason()));
     }
     CLASSIC_RETURN_NOT_OK(engine->MergeInto(ind, *nf));
     // Let the descriptive part (and its deductions) settle before any

@@ -10,7 +10,9 @@ namespace classic::sexpr {
 
 namespace {
 
-/// Recursive-descent reader over a raw character buffer.
+/// Recursive-descent reader over a raw character buffer. Tracks 1-based
+/// line/column positions and stamps every produced Value with the
+/// position of its first character.
 class Reader {
  public:
   explicit Reader(const std::string& input) : input_(input) {}
@@ -35,8 +37,8 @@ class Reader {
   Status ExpectEnd() {
     SkipSpace();
     if (!AtEnd()) {
-      return Status::InvalidArgument("trailing input after expression at offset " +
-                                     std::to_string(pos_));
+      return Status::InvalidArgument(
+          StrCat("trailing input after expression", Here()));
     }
     return Status::OK();
   }
@@ -45,13 +47,36 @@ class Reader {
   bool AtEnd() const { return pos_ >= input_.size(); }
   char Peek() const { return input_[pos_]; }
 
+  /// Consumes one character, keeping the line/column counters true.
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  /// " (line L, column C)" for the current position.
+  std::string Here() const {
+    return StrCat(" (line ", line_, ", column ", col_, ")");
+  }
+
+  /// Stamps `v` with a recorded start position and returns it.
+  static Value At(Value v, uint32_t line, uint32_t col) {
+    v.set_location(line, col);
+    return v;
+  }
+
   void SkipSpace() {
     while (!AtEnd()) {
       char c = Peek();
       if (c == ';') {  // comment to end of line
-        while (!AtEnd() && Peek() != '\n') ++pos_;
+        while (!AtEnd() && Peek() != '\n') Advance();
       } else if (std::isspace(static_cast<unsigned char>(c))) {
-        ++pos_;
+        Advance();
       } else {
         break;
       }
@@ -62,22 +87,25 @@ class Reader {
     char c = Peek();
     if (c == '(') return ReadList();
     if (c == ')') {
-      return Status::InvalidArgument("unexpected ')' at offset " +
-                                     std::to_string(pos_));
+      return Status::InvalidArgument(StrCat("unexpected ')'", Here()));
     }
     if (c == '"') return ReadString();
     return ReadAtom();
   }
 
   Result<Value> ReadList() {
-    ++pos_;  // consume '('
+    uint32_t line = line_, col = col_;
+    Advance();  // consume '('
     std::vector<Value> items;
     while (true) {
       SkipSpace();
-      if (AtEnd()) return Status::InvalidArgument("unterminated list");
+      if (AtEnd()) {
+        return Status::InvalidArgument(StrCat(
+            "unterminated list (opened at line ", line, ", column ", col, ")"));
+      }
       if (Peek() == ')') {
-        ++pos_;
-        return Value::MakeList(std::move(items));
+        Advance();
+        return At(Value::MakeList(std::move(items)), line, col);
       }
       CLASSIC_ASSIGN_OR_RETURN(Value v, ReadValue());
       items.push_back(std::move(v));
@@ -85,15 +113,22 @@ class Reader {
   }
 
   Result<Value> ReadString() {
-    ++pos_;  // consume '"'
+    uint32_t line = line_, col = col_;
+    Advance();  // consume '"'
     std::string out;
     while (true) {
-      if (AtEnd()) return Status::InvalidArgument("unterminated string literal");
-      char c = input_[pos_++];
-      if (c == '"') return Value::MakeString(std::move(out));
+      if (AtEnd()) {
+        return Status::InvalidArgument(
+            StrCat("unterminated string literal (opened at line ", line,
+                   ", column ", col, ")"));
+      }
+      char c = Advance();
+      if (c == '"') return At(Value::MakeString(std::move(out)), line, col);
       if (c == '\\') {
-        if (AtEnd()) return Status::InvalidArgument("dangling escape");
-        char e = input_[pos_++];
+        if (AtEnd()) {
+          return Status::InvalidArgument(StrCat("dangling escape", Here()));
+        }
+        char e = Advance();
         switch (e) {
           case 'n':
             out += '\n';
@@ -108,7 +143,8 @@ class Reader {
             out += '\\';
             break;
           default:
-            return Status::InvalidArgument(std::string("bad escape: \\") + e);
+            return Status::InvalidArgument(
+                StrCat("bad escape: \\", e, Here()));
         }
       } else {
         out += c;
@@ -120,13 +156,14 @@ class Reader {
   // and the comment marker. `?:` prefixes (query markers) stay attached to
   // the token and are split by the description parser.
   Result<Value> ReadAtom() {
+    uint32_t line = line_, col = col_;
     size_t start = pos_;
     while (!AtEnd()) {
       char c = Peek();
       if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
           c == ')' || c == '"' || c == ';')
         break;
-      ++pos_;
+      Advance();
     }
     std::string tok = input_.substr(start, pos_ - start);
     // Try integer, then real, else symbol. A leading sign alone is a symbol.
@@ -135,15 +172,15 @@ class Reader {
       char* end = nullptr;
       long long i = std::strtoll(tok.c_str(), &end, 10);
       if (errno == 0 && end == tok.c_str() + tok.size()) {
-        return Value::MakeInteger(static_cast<int64_t>(i));
+        return At(Value::MakeInteger(static_cast<int64_t>(i)), line, col);
       }
       errno = 0;
       double d = std::strtod(tok.c_str(), &end);
       if (errno == 0 && end == tok.c_str() + tok.size()) {
-        return Value::MakeReal(d);
+        return At(Value::MakeReal(d), line, col);
       }
     }
-    return Value::MakeSymbol(std::move(tok));
+    return At(Value::MakeSymbol(std::move(tok)), line, col);
   }
 
   static bool LooksNumeric(const std::string& tok) {
@@ -155,6 +192,8 @@ class Reader {
 
   const std::string& input_;
   size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
 };
 
 void Render(const Value& v, std::string* out) {
@@ -217,6 +256,11 @@ bool Value::operator==(const Value& other) const {
       return items_ == other.items_;
   }
   return false;
+}
+
+std::string LocationSuffix(const Value& v) {
+  if (!v.has_location()) return "";
+  return StrCat(" (line ", v.line(), ", column ", v.column(), ")");
 }
 
 Result<Value> Parse(const std::string& input) {

@@ -31,6 +31,10 @@ enum class Kind {
 /// \brief One node of an s-expression tree.
 ///
 /// Values are immutable after construction; lists own their children.
+/// The reader stamps every node with its 1-based line/column source
+/// position (0 = unknown, e.g. for programmatically built values), which
+/// error messages and the static analyzer surface to the user. Locations
+/// are carried alongside the value and never participate in equality.
 class Value {
  public:
   static Value MakeSymbol(std::string name) {
@@ -86,6 +90,15 @@ class Value {
     return IsList() && !items_.empty() && items_[0].IsSymbolNamed(head);
   }
 
+  /// \brief 1-based source position, or 0 when unknown.
+  uint32_t line() const { return line_; }
+  uint32_t column() const { return column_; }
+  bool has_location() const { return line_ != 0; }
+  void set_location(uint32_t line, uint32_t column) {
+    line_ = line;
+    column_ = column;
+  }
+
   /// \brief Renders back to concrete syntax (single line).
   std::string ToString() const;
 
@@ -96,11 +109,18 @@ class Value {
   explicit Value(Kind kind) : kind_(kind) {}
 
   Kind kind_;
+  uint32_t line_ = 0;
+  uint32_t column_ = 0;
   std::string text_;
   int64_t int_ = 0;
   double real_ = 0.0;
   std::vector<Value> items_;
 };
+
+/// \brief Renders a location as " (line L, column C)", or "" when unknown.
+/// Appended to reader/parser error messages so they point at real input
+/// positions.
+std::string LocationSuffix(const Value& v);
 
 /// \brief Parses a single s-expression from `input`.
 ///

@@ -104,6 +104,45 @@ bool Equivalent(const NormalForm& a, const NormalForm& b) {
   return Subsumes(a, b) && Subsumes(b, a);
 }
 
+bool Equivalent(const NormalForm& a, const NormalForm& b,
+                SubsumptionIndex* index) {
+  return Subsumes(a, b, index) && Subsumes(b, a, index);
+}
+
+std::vector<std::vector<size_t>> EquivalenceClasses(
+    const std::vector<NormalFormPtr>& forms, SubsumptionIndex* index) {
+  std::vector<std::vector<size_t>> classes;
+  // Representative form of each class, for the pairwise test.
+  std::vector<const NormalForm*> reps;
+  for (size_t i = 0; i < forms.size(); ++i) {
+    const NormalForm& nf = *forms[i];
+    bool placed = false;
+    for (size_t c = 0; c < classes.size(); ++c) {
+      const NormalForm& rep = *reps[c];
+      // Interned forms: equal ids are equal forms; distinct ids from the
+      // same store are distinct forms, but may still be mutually
+      // subsuming (canonicalization is not complete), so only the
+      // equal-id direction short-circuits.
+      if (nf.interned_id() != kNoNfId && nf.interned_id() == rep.interned_id()) {
+        placed = true;
+      } else if (Equivalent(rep, nf, index)) {
+        placed = true;
+      }
+      if (placed) {
+        classes[c].push_back(i);
+        break;
+      }
+    }
+    if (!placed) {
+      classes.push_back({i});
+      reps.push_back(&nf);
+    }
+  }
+  // Classes are created in first-member order and members appended in
+  // input order, so the result is already deterministic.
+  return classes;
+}
+
 bool Disjoint(const NormalForm& a, const NormalForm& b,
               const Vocabulary& vocab) {
   if (a.incoherent() || b.incoherent()) return true;

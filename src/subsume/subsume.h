@@ -30,6 +30,20 @@ bool Subsumes(const NormalForm& general, const NormalForm& specific,
 /// \brief True iff the two forms denote the same class in every state.
 bool Equivalent(const NormalForm& a, const NormalForm& b);
 
+/// \brief Memoized variant (both directions consult/extend `index`).
+bool Equivalent(const NormalForm& a, const NormalForm& b,
+                SubsumptionIndex* index);
+
+/// \brief Batch equivalence: partitions `forms` into classes of mutually
+/// subsuming forms, memoizing every verdict in `index` (may be null).
+/// Returns one vector of input indices per class; members keep input
+/// order and classes are ordered by their first member, so the result is
+/// deterministic. Interned duplicates (identical NfId) join their class
+/// without any subsumption test. Used by the static analyzer's
+/// duplicate-concept check.
+std::vector<std::vector<size_t>> EquivalenceClasses(
+    const std::vector<NormalFormPtr>& forms, SubsumptionIndex* index);
+
 /// \brief True iff no individual can satisfy both descriptions
 /// (conservative: detected when their conjunction is incoherent).
 bool Disjoint(const NormalForm& a, const NormalForm& b,

@@ -232,5 +232,25 @@ TEST(VocabularyTest, AtomCompatibility) {
   EXPECT_FALSE(v.AtomCompatibleWithInd(v.host_thing_atom(), rocky));
 }
 
+TEST(ParserLocationTest, ErrorsCarrySourcePositions) {
+  SymbolTable symbols;
+  auto bad_arity = ParseDescriptionString("(AND A\n  (ALL r))", &symbols);
+  ASSERT_FALSE(bad_arity.ok());
+  EXPECT_NE(bad_arity.status().message().find("line 2, column 3"),
+            std::string::npos)
+      << bad_arity.status().message();
+
+  auto bad_bound = ParseDescriptionString("(AND A\n (AT-LEAST x r))",
+                                          &symbols);
+  ASSERT_FALSE(bad_bound.ok());
+  EXPECT_NE(bad_bound.status().message().find("line 2"), std::string::npos)
+      << bad_bound.status().message();
+
+  auto unknown = ParseDescriptionString("(ALL r\n  (FROB x))", &symbols);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("line 2"), std::string::npos)
+      << unknown.status().message();
+}
+
 }  // namespace
 }  // namespace classic

@@ -148,5 +148,59 @@ TEST(SexprTest, EmptyListParses) {
   EXPECT_EQ(v->size(), 0u);
 }
 
+TEST(SexprLocationTest, ReaderStampsLineAndColumn) {
+  auto vs = ParseAll("(define-role r)\n\n  (create-ind Rocky\n    PERSON)\n");
+  ASSERT_TRUE(vs.ok());
+  ASSERT_EQ(vs->size(), 2u);
+  const Value& first = (*vs)[0];
+  EXPECT_EQ(first.line(), 1u);
+  EXPECT_EQ(first.column(), 1u);
+  EXPECT_EQ(first.at(0).line(), 1u);
+  EXPECT_EQ(first.at(0).column(), 2u);
+  EXPECT_EQ(first.at(1).column(), 14u);
+  const Value& second = (*vs)[1];
+  EXPECT_EQ(second.line(), 3u);
+  EXPECT_EQ(second.column(), 3u);
+  EXPECT_EQ(second.at(1).line(), 3u);
+  EXPECT_EQ(second.at(2).line(), 4u);
+  EXPECT_EQ(second.at(2).column(), 5u);
+}
+
+TEST(SexprLocationTest, StringAndNumberLiteralsCarryPositions) {
+  auto v = Parse("(FILLS age\n  17 \"hi\")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->at(2).line(), 2u);
+  EXPECT_EQ(v->at(2).column(), 3u);
+  EXPECT_EQ(v->at(3).line(), 2u);
+  EXPECT_EQ(v->at(3).column(), 6u);
+}
+
+TEST(SexprLocationTest, LocationsDoNotAffectEquality) {
+  auto a = Parse("(AND A B)");
+  auto b = Parse("\n\n   (AND A B)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SexprLocationTest, ErrorsPointAtRealPositions) {
+  auto unterminated = Parse("(AND A\n  (ALL r B)");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("line 1, column 1"),
+            std::string::npos)
+      << unterminated.status().message();
+
+  auto stray = ParseAll("(AND A)\n  )");
+  ASSERT_FALSE(stray.ok());
+  EXPECT_NE(stray.status().message().find("line 2, column 3"),
+            std::string::npos)
+      << stray.status().message();
+
+  auto bad_string = Parse("\n\"abc");
+  ASSERT_FALSE(bad_string.ok());
+  EXPECT_NE(bad_string.status().message().find("line 2, column 1"),
+            std::string::npos)
+      << bad_string.status().message();
+}
+
 }  // namespace
 }  // namespace classic::sexpr

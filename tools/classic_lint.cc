@@ -1,0 +1,93 @@
+// classic-lint: static analysis for CLASSIC schema/KB programs.
+//
+// Usage:
+//   classic_lint [--format=text|json] FILE...
+//   classic_lint --rules
+//
+// Lints each file (a `.classic` / `.clq` program in the operator
+// language) without touching any database: the program is replayed into
+// a private scratch instance and the analysis passes run over the
+// result. Diagnostics go to stdout in deterministic order.
+//
+// Exit status: 0 = no findings, 1 = findings reported, 2 = operational
+// error (unreadable file, bad usage).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.h"
+#include "analyze/program.h"
+#include "util/string_util.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: classic_lint [--format=text|json] FILE...\n"
+               "       classic_lint --rules\n");
+  return 2;
+}
+
+void PrintRules() {
+  std::printf("classic-lint rule catalog:\n");
+  for (classic::analyze::Rule rule : classic::analyze::AllRules()) {
+    const classic::analyze::RuleInfo& info =
+        classic::analyze::GetRuleInfo(rule);
+    std::printf("  %s %-20s %-7s %s\n", info.id, info.name,
+                classic::analyze::SeverityName(info.severity), info.summary);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--rules") {
+      PrintRules();
+      return 0;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) return Usage();
+
+  std::vector<classic::analyze::Diagnostic> all;
+  for (const std::string& file : files) {
+    auto program = classic::analyze::LoadProgramFile(file);
+    if (!program.ok()) {
+      std::fprintf(stderr, "classic_lint: %s\n",
+                   program.status().message().c_str());
+      return 2;
+    }
+    std::vector<classic::analyze::Diagnostic> diags =
+        classic::analyze::AnalyzeProgram(program.ValueOrDie());
+    all.insert(all.end(), diags.begin(), diags.end());
+  }
+  classic::analyze::SortDiagnostics(&all);
+
+  if (json) {
+    std::fputs(classic::analyze::RenderJson(all).c_str(), stdout);
+  } else {
+    std::fputs(classic::analyze::RenderText(all).c_str(), stdout);
+    if (!all.empty()) {
+      size_t errors = 0;
+      for (const auto& d : all) {
+        if (d.severity() == classic::analyze::Severity::kError) ++errors;
+      }
+      std::printf("%zu finding(s): %zu error(s), %zu warning(s)\n",
+                  all.size(), errors, all.size() - errors);
+    }
+  }
+  return all.empty() ? 0 : 1;
+}
