@@ -45,30 +45,26 @@ std::vector<QueryRequest> MakeMixedRequests(const StandardWorkload& w,
     QueryRequest r;
     switch (rng.Below(6)) {
       case 0:
-        r.kind = QueryRequest::Kind::kAsk;
-        r.text = pick(w.schema.defined_names);
+        r = QueryRequest::Ask(pick(w.schema.defined_names));
         break;
       case 1:
-        r.kind = QueryRequest::Kind::kAsk;
-        r.text = StrCat("(AND ", pick(w.schema.primitive_names),
-                        " (AT-LEAST 1 ", pick(w.schema.role_names), "))");
+        r = QueryRequest::Ask(StrCat("(AND ", pick(w.schema.primitive_names),
+                                     " (AT-LEAST 1 ", pick(w.schema.role_names),
+                                     "))"));
         break;
       case 2:
-        r.kind = QueryRequest::Kind::kAskPossible;
-        r.text = pick(w.schema.defined_names);
+        r = QueryRequest::AskPossible(pick(w.schema.defined_names));
         break;
       case 3:
-        r.kind = QueryRequest::Kind::kPathQuery;
-        r.text = StrCat("(select (?x ?y) (?x ", pick(w.schema.defined_names),
-                        ") (?x ", pick(w.schema.role_names), " ?y))");
+        r = QueryRequest::PathQuery(
+            StrCat("(select (?x ?y) (?x ", pick(w.schema.defined_names),
+                   ") (?x ", pick(w.schema.role_names), " ?y))"));
         break;
       case 4:
-        r.kind = QueryRequest::Kind::kDescribeIndividual;
-        r.text = pick(w.individuals);
+        r = QueryRequest::DescribeIndividual(pick(w.individuals));
         break;
       case 5:
-        r.kind = QueryRequest::Kind::kInstancesOf;
-        r.text = pick(w.schema.defined_names);
+        r = QueryRequest::InstancesOf(pick(w.schema.defined_names));
         break;
     }
     out.push_back(std::move(r));

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI-style gate: tier-1 build + full test suite, static analysis
 # (classic-lint over the shipped example programs, clang-tidy over src/
-# when installed), then a ThreadSanitizer build that runs the two
-# parallel suites (the differential harness and the reader/writer
-# stress harness). Usage:
+# when installed), the observability gates (a -DCLASSIC_OBS=OFF build
+# proving the instrumentation compiles out cleanly, and classic_stats
+# --json validated against the golden schema), then a ThreadSanitizer
+# build that runs the three parallel suites (the differential harness,
+# the reader/writer stress harness, and the counter-determinism
+# harness). Usage:
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --tsan     # TSan stage only (reuses build-tsan/)
@@ -26,6 +29,17 @@ if [[ "$TSAN_ONLY" -eq 0 ]]; then
   echo "== lint: classic-lint over shipped example programs"
   ./build/tools/classic_lint examples/*.classic examples/*.clq
 
+  echo "== obs: classic_stats --json against the golden schema"
+  ./build/tools/classic_stats --format=json examples/university.classic |
+    python3 scripts/check_stats_schema.py
+
+  echo "== obs: -DCLASSIC_OBS=OFF build (instrumentation compiles out)"
+  cmake -B build-noobs -S . -DCLASSIC_OBS=OFF > /dev/null
+  cmake --build build-noobs -j"$JOBS" --target \
+    classic_stats obs_test obs_parallel_test obs_stats_test
+  ./build-noobs/tests/obs_test
+  ./build-noobs/tests/obs_stats_test
+
   if command -v clang-tidy > /dev/null 2>&1; then
     echo "== lint: clang-tidy over src/"
     find src -name '*.cc' -print0 |
@@ -38,11 +52,13 @@ fi
 echo "== tsan: configure + build parallel suites"
 cmake -B build-tsan -S . -DCLASSIC_TSAN=ON > /dev/null
 cmake --build build-tsan -j"$JOBS" --target \
-  parallel_diff_test parallel_stress_test
+  parallel_diff_test parallel_stress_test obs_parallel_test
 
 echo "== tsan: parallel_diff_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_diff_test
 echo "== tsan: parallel_stress_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
+echo "== tsan: obs_parallel_test"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_parallel_test
 
 echo "== all checks passed"

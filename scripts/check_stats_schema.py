@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Golden schema check for `classic_stats --json` output.
+
+Usage:
+    classic_stats --json FILE... | scripts/check_stats_schema.py
+
+Validates the *shape* of the report against scripts/stats_schema.json —
+phase spine, the exact counter catalog, registry and histogram keys —
+without pinning any measured value (wall times are not deterministic).
+The counter catalog is an exact-set check in both directions, so adding
+or renaming a counter without updating the schema fails CI, which is the
+point: the JSON key set is a published contract.
+
+Exit status: 0 = conforming, 1 = violation, 2 = unreadable input.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "stats_schema.json")
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def check_counters(obj, where, schema):
+    if not isinstance(obj, dict):
+        err(f"{where}: counters is not an object")
+        return
+    expected = set(schema["counters"])
+    actual = set(obj)
+    for missing in sorted(expected - actual):
+        err(f"{where}: missing counter {missing!r}")
+    for extra in sorted(actual - expected):
+        err(f"{where}: unknown counter {extra!r} (update stats_schema.json?)")
+    for name, value in obj.items():
+        if not isinstance(value, int) or value < 0:
+            err(f"{where}: counter {name!r} is not a non-negative integer")
+
+
+def check_report(report, idx, schema):
+    where = f"report[{idx}]"
+    for key in ("file", "phases", "registry"):
+        if key not in report:
+            err(f"{where}: missing key {key!r}")
+            return
+
+    phases = report["phases"]
+    names = [p.get("phase") for p in phases]
+    if names != schema["phases"]:
+        err(f"{where}: phase spine {names} != {schema['phases']}")
+    for p in phases:
+        pwhere = f"{where}.phase[{p.get('phase')}]"
+        for key in schema["phase_keys"]:
+            if key not in p:
+                err(f"{pwhere}: missing key {key!r}")
+        check_counters(p.get("counters"), pwhere, schema)
+
+    registry = report["registry"]
+    for key in schema["registry_keys"]:
+        if key not in registry:
+            err(f"{where}.registry: missing key {key!r}")
+    check_counters(registry.get("counters"), f"{where}.registry", schema)
+    for h in registry.get("histograms", []):
+        hwhere = f"{where}.registry.histogram[{h.get('op')}]"
+        for key in schema["histogram_keys"]:
+            if key not in h:
+                err(f"{hwhere}: missing key {key!r}")
+        if h.get("op") not in schema["ops"]:
+            err(f"{hwhere}: unknown op {h.get('op')!r}")
+        for bucket in h.get("buckets", []):
+            if set(bucket) != {"le_ns", "count"}:
+                err(f"{hwhere}: malformed bucket {bucket}")
+
+
+def main():
+    with open(SCHEMA_PATH) as f:
+        schema = json.load(f)
+    try:
+        reports = json.load(sys.stdin)
+    except json.JSONDecodeError as e:
+        print(f"check_stats_schema: unparsable input: {e}", file=sys.stderr)
+        return 2
+    if not isinstance(reports, list) or not reports:
+        print("check_stats_schema: expected a non-empty JSON array",
+              file=sys.stderr)
+        return 2
+
+    for i, report in enumerate(reports):
+        check_report(report, i, schema)
+
+    if errors:
+        for e in errors:
+            print(f"check_stats_schema: {e}", file=sys.stderr)
+        return 1
+    print(f"check_stats_schema: {len(reports)} report(s) conform")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include "desc/parser.h"
 #include "kb/explain.h"
+#include "query/path_query.h"
 #include "storage/snapshot.h"
 #include "util/string_util.h"
 
@@ -147,6 +148,18 @@ Result<DescriptionAnswer> Database::AskDescriptionFull(
 Result<std::string> Database::AskDescription(const std::string& query) const {
   CLASSIC_ASSIGN_OR_RETURN(DescriptionAnswer a, AskDescriptionFull(query));
   return a.description->ToString(kb_.vocab().symbols());
+}
+
+Result<std::vector<std::string>> Database::PathQuery(
+    const std::string& select_expr) const {
+  CLASSIC_ASSIGN_OR_RETURN(classic::PathQuery q,
+                           ParsePathQueryString(select_expr, kb_));
+  CLASSIC_ASSIGN_OR_RETURN(PathQueryResult r, EvaluatePathQuery(kb_, q));
+  std::vector<std::string> rows;
+  for (const auto& row : PathQueryRowNames(kb_, r)) {
+    rows.push_back(Join(row, " "));
+  }
+  return rows;
 }
 
 Result<bool> Database::Subsumes(const std::string& c1,

@@ -95,6 +95,12 @@ class Database {
   Result<std::string> AskDescription(const std::string& query) const;
   Result<DescriptionAnswer> AskDescriptionFull(const std::string& query) const;
 
+  /// \brief Conjunctive path query "(select (?x ...) atoms...)"; each
+  /// answer row renders its bindings as space-joined display names, in
+  /// the deterministic evaluation order.
+  Result<std::vector<std::string>> PathQuery(
+      const std::string& select_expr) const;
+
   /// \brief concept-subsumes[c1, c2] over arbitrary expressions.
   Result<bool> Subsumes(const std::string& c1, const std::string& c2) const;
   Result<bool> Equivalent(const std::string& c1, const std::string& c2) const;

@@ -5,6 +5,7 @@
 
 #include "desc/parser.h"
 #include "kb/explain.h"
+#include "obs/registry.h"
 #include "query/path_query.h"
 #include "relational/relational.h"
 #include "query/taxonomy_printer.h"
@@ -286,6 +287,11 @@ Result<std::string> Interpreter::Execute(const sexpr::Value& op) {
                   " concepts=", db_->kb().vocab().num_concepts(),
                   " individuals=", db_->kb().vocab().num_individuals(),
                   " rules=", db_->kb().rules().size());
+  }
+
+  if (head == "metrics") {
+    // Process-wide inference metrics (obs registry), as the text table.
+    return obs::SnapshotMetrics().ToText();
   }
 
   if (head == "subsumed-concepts" || head == "subsuming-concepts") {

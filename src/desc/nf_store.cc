@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace classic {
 
 NormalFormStore::NormalFormStore(const NormalFormStore& other)
@@ -36,10 +38,12 @@ NormalFormPtr NormalFormStore::InternLocked(NormalForm nf) {
   for (NfId id : bucket) {
     if (forms_[id]->Equals(nf)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      CLASSIC_OBS_COUNT(kInternHits);
       return forms_[id];
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  CLASSIC_OBS_COUNT(kInternMisses);
   NfId id = static_cast<NfId>(forms_.size());
   nf.nf_id_ = id;
   auto ptr = std::make_shared<const NormalForm>(std::move(nf));

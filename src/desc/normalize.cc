@@ -1,5 +1,6 @@
 #include "desc/normalize.h"
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace classic {
@@ -35,6 +36,7 @@ Result<NormalFormPtr> Normalizer::NormalizeImpl(const DescPtr& desc,
   if (desc == nullptr) {
     return Status::InvalidArgument("null description");
   }
+  CLASSIC_OBS_COUNT(kNormalizations);
   NormalForm nf;
   CLASSIC_RETURN_NOT_OK(Apply(*desc, allow_close, &nf));
   return Freeze(std::move(nf));

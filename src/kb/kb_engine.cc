@@ -3,6 +3,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "query/describe.h"
 #include "query/introspect.h"
 #include "query/path_query.h"
@@ -39,7 +41,65 @@ size_t ResolveTotalThreads(size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
+/// Escapes the canonical-form separator (0x1f) and the escape character
+/// itself, so a value that happens to contain either byte cannot fake a
+/// value boundary. Rendered names never contain 0x1f today, but host
+/// values and error messages are arbitrary strings.
+void AppendEscaped(const std::string& v, std::string* out) {
+  for (char c : v) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\x1f') {
+      out->append("\\u001f");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
 }  // namespace
+
+QueryRequest QueryRequest::Ask(std::string query) {
+  return {Kind::kAsk, std::move(query)};
+}
+QueryRequest QueryRequest::AskPossible(std::string query) {
+  return {Kind::kAskPossible, std::move(query)};
+}
+QueryRequest QueryRequest::AskDescription(std::string query) {
+  return {Kind::kAskDescription, std::move(query)};
+}
+QueryRequest QueryRequest::PathQuery(std::string select_expr) {
+  return {Kind::kPathQuery, std::move(select_expr)};
+}
+QueryRequest QueryRequest::DescribeIndividual(std::string individual) {
+  return {Kind::kDescribeIndividual, std::move(individual)};
+}
+QueryRequest QueryRequest::MostSpecificConcepts(std::string individual) {
+  return {Kind::kMostSpecificConcepts, std::move(individual)};
+}
+QueryRequest QueryRequest::InstancesOf(std::string concept_name) {
+  return {Kind::kInstancesOf, std::move(concept_name)};
+}
+
+obs::Op ToObsOp(QueryRequest::Kind kind) {
+  // The first seven Op values mirror Kind, in order (static_asserts keep
+  // the two enums aligned).
+  static_assert(static_cast<uint32_t>(QueryRequest::Kind::kAsk) ==
+                static_cast<uint32_t>(obs::Op::kAsk));
+  static_assert(static_cast<uint32_t>(QueryRequest::Kind::kInstancesOf) ==
+                static_cast<uint32_t>(obs::Op::kInstancesOf));
+  return static_cast<obs::Op>(static_cast<uint32_t>(kind));
+}
+
+const char* QueryKindName(QueryRequest::Kind kind) {
+  return obs::OpName(ToObsOp(kind));
+}
+
+std::optional<QueryRequest::Kind> QueryKindFromName(std::string_view name) {
+  std::optional<obs::Op> op = obs::OpFromName(name);
+  if (!op || *op > obs::Op::kInstancesOf) return std::nullopt;
+  return static_cast<QueryRequest::Kind>(static_cast<uint32_t>(*op));
+}
 
 std::string QueryAnswer::Canonical() const {
   std::string out = status.ok()
@@ -47,8 +107,8 @@ std::string QueryAnswer::Canonical() const {
                         : StrCat(StatusCodeName(status.code()), ": ",
                                  status.message());
   for (const std::string& v : values) {
-    out.push_back('\x1f');  // unit separator: cannot occur in rendered names
-    out.append(v);
+    out.push_back('\x1f');  // unit separator marks each value boundary
+    AppendEscaped(v, &out);
   }
   return out;
 }
@@ -67,12 +127,25 @@ SnapshotPtr KbEngine::Reset(std::unique_ptr<KnowledgeBase> master) {
 }
 
 Status KbEngine::Mutate(const std::function<Status(KnowledgeBase*)>& fn) {
+#if CLASSIC_OBS
+  obs::TraceSpan span("mutate");
+  const uint64_t start = obs::MonotonicNanos();
+#endif
   CLASSIC_RETURN_NOT_OK(fn(master_.get()));
   Publish();
+#if CLASSIC_OBS
+  obs::RecordLatency(obs::Op::kMutate, obs::MonotonicNanos() - start);
+  obs::FlushLocalCounters();
+#endif
   return Status::OK();
 }
 
 SnapshotPtr KbEngine::Publish() {
+#if CLASSIC_OBS
+  obs::TraceSpan span("publish");
+  const uint64_t start = obs::MonotonicNanos();
+#endif
+  CLASSIC_OBS_COUNT(kEpochPublishes);
   std::unique_ptr<KnowledgeBase> clone = master_->Clone();
   clone->FreezeVisibleIndividuals();
   const uint64_t e = epoch_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -82,10 +155,15 @@ SnapshotPtr KbEngine::Publish() {
     std::lock_guard<std::mutex> lock(current_mutex_);
     current_ = snap;
   }
+#if CLASSIC_OBS
+  obs::RecordLatency(obs::Op::kPublish, obs::MonotonicNanos() - start);
+  obs::FlushLocalCounters();
+#endif
   return snap;
 }
 
 SnapshotPtr KbEngine::snapshot() const {
+  CLASSIC_OBS_COUNT(kSnapshotAcquisitions);
   std::lock_guard<std::mutex> lock(current_mutex_);
   return current_;
 }
@@ -97,6 +175,27 @@ uint64_t KbEngine::epoch() const {
 
 QueryAnswer KbEngine::ServeQuery(const KnowledgeBase& kb,
                                  const QueryRequest& request) {
+#if CLASSIC_OBS
+  obs::TraceSpan span(QueryKindName(request.kind));
+  obs::CounterDeltaScope window;
+  const uint64_t start = obs::MonotonicNanos();
+#endif
+  QueryAnswer out = ServeQueryImpl(kb, request);
+#if CLASSIC_OBS
+  CLASSIC_OBS_COUNT(kQueriesServed);
+  out.stats.counters = window.Deltas();
+  out.stats.wall_nanos = obs::MonotonicNanos() - start;
+  obs::RecordLatency(ToObsOp(request.kind), out.stats.wall_nanos);
+#endif
+  return out;
+}
+
+obs::MetricsSnapshot KbEngine::MetricsSnapshot() const {
+  return obs::SnapshotMetrics();
+}
+
+QueryAnswer KbEngine::ServeQueryImpl(const KnowledgeBase& kb,
+                                     const QueryRequest& request) {
   QueryAnswer out;
   switch (request.kind) {
     case QueryRequest::Kind::kAsk: {

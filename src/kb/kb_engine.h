@@ -24,12 +24,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "kb/epoch.h"
 #include "kb/knowledge_base.h"
-#include "util/status.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "util/result.h"
 #include "util/thread_pool.h"
 
 namespace classic {
@@ -37,6 +41,10 @@ namespace classic {
 /// \brief What a serving request asks for. `text` is interpreted per
 /// kind: a query expression for the query kinds, an individual name for
 /// the individual kinds, a concept name for kInstancesOf.
+///
+/// Prefer the named constructors (QueryRequest::Ask(...) etc.) over
+/// aggregate initialization: they read at the call site and cannot get
+/// the kind/text pairing wrong.
 struct QueryRequest {
   enum class Kind {
     /// ask-necessary-set: individuals known to satisfy the query.
@@ -59,17 +67,55 @@ struct QueryRequest {
 
   Kind kind = Kind::kAsk;
   std::string text;
+
+  // Named constructors, one per kind.
+  static QueryRequest Ask(std::string query);
+  static QueryRequest AskPossible(std::string query);
+  static QueryRequest AskDescription(std::string query);
+  static QueryRequest PathQuery(std::string select_expr);
+  static QueryRequest DescribeIndividual(std::string individual);
+  static QueryRequest MostSpecificConcepts(std::string individual);
+  static QueryRequest InstancesOf(std::string concept_name);
+};
+
+/// \brief Stable serialized name of a request kind ("ask", "path-query",
+/// "instances-of", ...). Shared with the obs layer's Op names, so the
+/// classic_stats CLI, metrics JSON and tests all speak one vocabulary.
+const char* QueryKindName(QueryRequest::Kind kind);
+
+/// \brief Inverse of QueryKindName; nullopt for unknown names (including
+/// the writer-side op names "mutate"/"publish", which are not request
+/// kinds).
+std::optional<QueryRequest::Kind> QueryKindFromName(std::string_view name);
+
+/// \brief The obs histogram slot for a request kind.
+obs::Op ToObsOp(QueryRequest::Kind kind);
+
+/// \brief Per-query inference work: wall time plus the counter deltas
+/// (subsumption tests, memo hits, instance checks, ...) attributable to
+/// serving this one request. All zeros when CLASSIC_OBS is compiled out.
+struct QueryStats {
+  uint64_t wall_nanos = 0;
+  obs::CounterArray counters{};
+
+  uint64_t counter(obs::Counter c) const {
+    return counters[static_cast<size_t>(c)];
+  }
 };
 
 /// \brief Outcome of one request: an error status, or a list of rendered
-/// answer values (display names, rows, or a description).
+/// answer values (display names, rows, or a description), plus the
+/// inference work the answer cost.
 struct QueryAnswer {
   Status status;
   std::vector<std::string> values;
+  QueryStats stats;
 
   /// Canonical one-string rendering (status category + values joined
-  /// with unit separators). The differential harness compares these
-  /// byte-for-byte between serial and parallel runs.
+  /// with unit separators; separator and escape bytes inside a value are
+  /// escaped so distinct value lists can never collide). `stats` is
+  /// excluded — the differential harness compares these byte-for-byte
+  /// between serial and parallel runs, and wall times differ.
   std::string Canonical() const;
 };
 
@@ -137,7 +183,18 @@ class KbEngine {
                                         const std::vector<QueryRequest>& requests,
                                         size_t num_threads = 0);
 
+  // --- Observability ------------------------------------------------------
+
+  /// \brief Point-in-time copy of the process-wide metrics registry:
+  /// every counter total and per-operation latency histogram. All zeros
+  /// when CLASSIC_OBS is compiled out.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
  private:
+  /// The uninstrumented dispatch body behind ServeQuery.
+  static QueryAnswer ServeQueryImpl(const KnowledgeBase& kb,
+                                    const QueryRequest& request);
+
   std::unique_ptr<KnowledgeBase> master_;
   std::atomic<uint64_t> epoch_counter_{0};
   /// Current epoch; written by Publish (writer), read by everyone.

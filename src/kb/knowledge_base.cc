@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "subsume/subsume.h"
 #include "util/string_util.h"
 
@@ -106,6 +108,7 @@ class PropagationEngine {
 
   Status Step(IndId ind) {
     ++kb_->stats_.propagation_steps;
+    CLASSIC_OBS_COUNT(kPropagationSteps);
     if (!kb_->IsClassicIndividual(ind)) {
       // Host individuals are immutable values: they are classified (they
       // can belong to enumerated / TEST / built-in concepts) but carry no
@@ -198,6 +201,8 @@ class PropagationEngine {
   /// top-down search, since the set of satisfied nodes is upward-closed.
   void Realize(IndId ind) {
     ++kb_->stats_.realizations;
+    CLASSIC_OBS_COUNT(kRealizations);
+    obs::TraceSpan span("realize");
     const Taxonomy& tax = kb_->taxonomy_;
     const std::set<NodeId>& already = kb_->StateRef(ind).subsumer_nodes;
     std::set<NodeId> subs;
@@ -263,6 +268,7 @@ class PropagationEngine {
     for (size_t idx : pending) {
       Touch(ind).applied_rules.insert(idx);
       ++kb_->stats_.rule_firings;
+      CLASSIC_OBS_COUNT(kRuleFirings);
       Status st = MergeInto(ind, *kb_->rules_[idx].consequent);
       if (!st.ok()) {
         return st.WithContext(StrCat(
@@ -644,6 +650,7 @@ bool KnowledgeBase::SatisfiesImpl(
     IndId ind, const NormalForm& nf,
     std::set<std::pair<IndId, const NormalForm*>>* guard) const {
   ++stats_.satisfies_checks;
+  CLASSIC_OBS_COUNT(kInstanceChecks);
   if (nf.incoherent()) return false;
   if (nf.IsThing()) return true;
   auto key = std::make_pair(ind, &nf);

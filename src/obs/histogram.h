@@ -1,0 +1,76 @@
+// Lock-free fixed log-bucket latency histograms, one per obs::Op.
+//
+// Bucket b counts durations in [2^(b-1), 2^b) nanoseconds (bucket 0 is
+// [0, 1ns)); 48 buckets cover up to ~78 hours. Recording is a handful of
+// relaxed atomic adds — histograms sit at operation granularity (one
+// Record per served query / publish), never inside inference loops, so
+// atomic cost is irrelevant there. Percentiles are estimated from the
+// bucket counts by cumulative walk with a geometric midpoint, which is
+// exact to within one octave — the right resolution for a log-scale
+// latency story.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace classic::obs {
+
+inline constexpr size_t kHistogramBuckets = 48;
+
+/// \brief Immutable copy of one operation's histogram, with derived
+/// summary statistics. `buckets[b]` counts samples in [2^(b-1), 2^b) ns.
+struct HistogramView {
+  Op op = Op::kAsk;
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// \brief One lock-free histogram. All methods are safe under any number
+/// of concurrent Record / View calls.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t nanos);
+
+  /// A consistent-enough copy for reporting (individual fields are read
+  /// with relaxed loads; a concurrent Record may be partially visible,
+  /// which summary reporting tolerates).
+  HistogramView View(Op op) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~uint64_t{0}};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// \brief The global per-operation histogram (registry-owned).
+LatencyHistogram& OpHistogram(Op op);
+
+/// \brief Records one sample into the operation's global histogram.
+/// Available in both build configurations (engine call sites gate
+/// themselves behind CLASSIC_OBS; tools may time their own phases
+/// unconditionally).
+void RecordLatency(Op op, uint64_t nanos);
+
+/// \brief Views of every operation histogram, in Op order (all kNumOps,
+/// including empty ones).
+std::array<HistogramView, kNumOps> SnapshotHistograms();
+
+/// \brief Zeroes all operation histograms (tool startup, test setup).
+void ResetHistograms();
+
+}  // namespace classic::obs

@@ -1,0 +1,95 @@
+#include "obs/registry.h"
+
+#include "util/string_util.h"
+
+namespace classic::obs {
+
+namespace {
+
+std::string HistogramToJson(const HistogramView& h) {
+  std::string out = StrCat("{\"op\": \"", OpName(h.op),
+                           "\", \"count\": ", h.count,
+                           ", \"sum_ns\": ", h.sum_ns,
+                           ", \"min_ns\": ", h.min_ns,
+                           ", \"max_ns\": ", h.max_ns,
+                           ", \"p50_ns\": ", h.p50_ns,
+                           ", \"p90_ns\": ", h.p90_ns,
+                           ", \"p99_ns\": ", h.p99_ns, ", \"buckets\": [");
+  bool first = true;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    // le_ns: exclusive upper bound of the bucket (2^b nanoseconds).
+    out += StrCat("{\"le_ns\": ", uint64_t{1} << b,
+                  ", \"count\": ", h.buckets[b], "}");
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string HumanNanos(uint64_t ns) {
+  if (ns < 1000) return StrCat(ns, "ns");
+  if (ns < 1000 * 1000) return StrCat(ns / 1000, ".", (ns / 100) % 10, "us");
+  if (ns < 1000ull * 1000 * 1000) {
+    return StrCat(ns / 1000000, ".", (ns / 100000) % 10, "ms");
+  }
+  return StrCat(ns / 1000000000, ".", (ns / 100000000) % 10, "s");
+}
+
+std::string CountersToJson(const CounterArray& counters) {
+  std::string out = "{";
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    if (i > 0) out += ", ";
+    out += StrCat("\"", CounterName(static_cast<Counter>(i)),
+                  "\": ", counters[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = StrCat("{\"counters\": ", CountersToJson(counters),
+                           ", \"histograms\": [");
+  bool first = true;
+  for (const HistogramView& h : histograms) {
+    if (h.count == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += HistogramToJson(h);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out = "counters:\n";
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    out += StrCat("  ", CounterName(static_cast<Counter>(i)), " = ",
+                  counters[i], "\n");
+  }
+  out += "latency (count / p50 / p99 / max):\n";
+  for (const HistogramView& h : histograms) {
+    if (h.count == 0) continue;
+    out += StrCat("  ", OpName(h.op), ": ", h.count, " / ",
+                  HumanNanos(h.p50_ns), " / ", HumanNanos(h.p99_ns), " / ",
+                  HumanNanos(h.max_ns), "\n");
+  }
+  return out;
+}
+
+MetricsSnapshot SnapshotMetrics() {
+  MetricsSnapshot out;
+  out.counters = ReadCounters();
+  out.histograms = SnapshotHistograms();
+  return out;
+}
+
+void ResetMetrics() {
+  ResetCounters();
+  ResetHistograms();
+}
+
+}  // namespace classic::obs

@@ -1,0 +1,52 @@
+// The metrics registry view: one serializable snapshot of every counter
+// and latency histogram in the process. This is the shared spine the
+// serving layer (KbEngine::MetricsSnapshot), the classic_stats CLI and
+// tests all report through.
+
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace classic::obs {
+
+/// \brief Point-in-time copy of the whole registry.
+struct MetricsSnapshot {
+  CounterArray counters{};
+  std::array<HistogramView, kNumOps> histograms{};
+
+  /// Counter value by enum (sugar over the dense array).
+  uint64_t counter(Counter c) const {
+    return counters[static_cast<size_t>(c)];
+  }
+
+  /// \brief JSON object: {"counters": {name: value, ...}, "histograms":
+  /// [{"op": ..., "count": ..., ...}, ...]}. Counters render the full
+  /// catalog (stable key set — the golden schema check depends on it);
+  /// histograms render only operations with at least one sample.
+  std::string ToJson() const;
+
+  /// \brief Human-readable table (REPL `(metrics)` op, classic_stats
+  /// text mode).
+  std::string ToText() const;
+};
+
+/// \brief Snapshots the global registry (flushes the calling thread's
+/// counters first).
+MetricsSnapshot SnapshotMetrics();
+
+/// \brief Zeroes counters and histograms. Only meaningful while no other
+/// thread is actively recording.
+void ResetMetrics();
+
+/// \brief Renders one counter-delta array as a JSON object over the full
+/// stable counter catalog.
+std::string CountersToJson(const CounterArray& counters);
+
+/// \brief "12.3us"-style duration rendering for text tables.
+std::string HumanNanos(uint64_t ns);
+
+}  // namespace classic::obs

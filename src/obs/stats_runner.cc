@@ -1,0 +1,181 @@
+#include "obs/stats_runner.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "classic/interpreter.h"
+#include "kb/kb_engine.h"
+#include "sexpr/sexpr.h"
+#include "util/string_util.h"
+
+namespace classic::obs {
+
+namespace {
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError(StrCat("cannot open ", path));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Maps a query-kind form onto a serving request; nullopt for every
+/// other head (schema, updates, introspection the engine does not
+/// serve). The head names are the operator language's, the request text
+/// is what the serving layer parses.
+std::optional<QueryRequest> AsQueryRequest(const sexpr::Value& op) {
+  if (!op.IsList() || op.size() == 0 || !op.at(0).IsSymbol()) {
+    return std::nullopt;
+  }
+  const std::string& head = op.at(0).text();
+  if (head == "select") return QueryRequest::PathQuery(op.ToString());
+  if (op.size() < 2) return std::nullopt;
+  std::string arg = op.at(1).ToString();
+  if (head == "ask") return QueryRequest::Ask(std::move(arg));
+  if (head == "ask-possible") return QueryRequest::AskPossible(std::move(arg));
+  if (head == "ask-description") {
+    return QueryRequest::AskDescription(std::move(arg));
+  }
+  if (head == "describe") return QueryRequest::DescribeIndividual(std::move(arg));
+  if (head == "msc") return QueryRequest::MostSpecificConcepts(std::move(arg));
+  if (head == "instances") return QueryRequest::InstancesOf(std::move(arg));
+  return std::nullopt;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += StrCat("\\u00", std::string(1, hex[(c >> 4) & 0xf]),
+                        std::string(1, hex[c & 0xf]));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string PhaseToJson(const PhaseStats& p) {
+  return StrCat("{\"phase\": \"", p.phase, "\", \"ops\": ", p.ops,
+                ", \"wall_ns\": ", p.wall_nanos,
+                ", \"counters\": ", CountersToJson(p.counters), "}");
+}
+
+}  // namespace
+
+std::string ProgramStats::ToJson() const {
+  std::string out = StrCat("{\"file\": \"", JsonEscape(file),
+                           "\",\n \"phases\": [");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) out += ",\n            ";
+    out += PhaseToJson(phases[i]);
+  }
+  out += StrCat("],\n \"registry\": ", registry.ToJson(), "}");
+  return out;
+}
+
+std::string ProgramStats::ToText() const {
+  std::string out = StrCat(file, "\n");
+  for (const PhaseStats& p : phases) {
+    out += StrCat("phase ", p.phase, ": ", p.ops, " ops in ",
+                  HumanNanos(p.wall_nanos), "\n");
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      if (p.counters[i] == 0) continue;
+      out += StrCat("  ", CounterName(static_cast<Counter>(i)), " = ",
+                    p.counters[i], "\n");
+    }
+  }
+  out += registry.ToText();
+  return out;
+}
+
+Result<ProgramStats> ReplayProgramWithStats(const std::string& path) {
+  CLASSIC_ASSIGN_OR_RETURN(std::string text, ReadWholeFile(path));
+  CLASSIC_ASSIGN_OR_RETURN(std::vector<sexpr::Value> forms,
+                           sexpr::ParseAll(text));
+
+  ResetMetrics();
+  ProgramStats report;
+  report.file = path;
+
+  // --- load: replay everything the engine does not serve.
+  std::vector<QueryRequest> queries;
+  Database db;
+  Interpreter interp(&db);
+  {
+    PhaseStats phase;
+    phase.phase = "load";
+    CounterDeltaScope window;
+    const uint64_t start = MonotonicNanos();
+    for (const sexpr::Value& op : forms) {
+      if (std::optional<QueryRequest> req = AsQueryRequest(op)) {
+        queries.push_back(std::move(*req));
+        continue;
+      }
+      Result<std::string> r = interp.Execute(op);
+      if (!r.ok()) {
+        return Status(r.status().code(),
+                      StrCat(path, ": ", op.at(0).text(), ": ",
+                             r.status().message()));
+      }
+      ++phase.ops;
+    }
+    phase.wall_nanos = MonotonicNanos() - start;
+    phase.counters = window.Deltas();
+    report.phases.push_back(std::move(phase));
+  }
+
+  // --- publish: adopt a clone of the loaded base as epoch 1.
+  KbEngine engine(KbEngine::Options{.num_threads = 1});
+  {
+    PhaseStats phase;
+    phase.phase = "publish";
+    phase.ops = 1;
+    CounterDeltaScope window;
+    const uint64_t start = MonotonicNanos();
+    engine.Reset(db.kb().Clone());
+    phase.wall_nanos = MonotonicNanos() - start;
+    phase.counters = window.Deltas();
+    report.phases.push_back(std::move(phase));
+  }
+
+  // --- query: serve every query form against the published snapshot.
+  {
+    PhaseStats phase;
+    phase.phase = "query";
+    CounterDeltaScope window;
+    const uint64_t start = MonotonicNanos();
+    SnapshotPtr snap = engine.snapshot();
+    for (const QueryRequest& req : queries) {
+      (void)KbEngine::ServeQuery(snap->kb(), req);
+      ++phase.ops;
+    }
+    phase.wall_nanos = MonotonicNanos() - start;
+    phase.counters = window.Deltas();
+    report.phases.push_back(std::move(phase));
+  }
+
+  report.registry = SnapshotMetrics();
+  return report;
+}
+
+}  // namespace classic::obs

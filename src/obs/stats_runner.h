@@ -1,0 +1,60 @@
+// The classic_stats replay harness: runs a `.classic` / `.clq` program
+// and reports the inference work it cost, per phase.
+//
+// The run has three phases, mirroring the serving lifecycle:
+//
+//   load     every schema / update form, replayed through the
+//            Interpreter into a scratch Database (definitions,
+//            individuals, rules — the write side);
+//   publish  adopting a clone of the loaded base into a KbEngine and
+//            publishing the first epoch;
+//   query    every query-kind form, served through KbEngine::ServeQuery
+//            against that one published snapshot (so the query phase
+//            exercises exactly the instrumented serving path, latency
+//            histograms included).
+//
+// Each phase reports its operation count, wall time and counter deltas;
+// the report ends with the full registry snapshot. Query forms are
+// answered against the *final* state of the base, not the point in the
+// program where they appear — classic_stats measures inference work, it
+// is not a REPL.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "util/result.h"
+
+namespace classic::obs {
+
+/// \brief One phase's aggregate work.
+struct PhaseStats {
+  std::string phase;
+  size_t ops = 0;
+  uint64_t wall_nanos = 0;
+  CounterArray counters{};
+};
+
+/// \brief The full report for one program run.
+struct ProgramStats {
+  std::string file;
+  /// Always exactly "load", "publish", "query", in that order (a stable
+  /// shape — the golden schema check depends on it).
+  std::vector<PhaseStats> phases;
+  /// Registry state after the run (counters + latency histograms).
+  MetricsSnapshot registry;
+
+  std::string ToJson() const;
+  std::string ToText() const;
+};
+
+/// \brief Resets the process metrics registry, replays the program at
+/// `path` and returns the per-phase report. Errors (unreadable file,
+/// unparsable program, rejected schema/update form) are a Status error;
+/// a query form that fails is reported inside its answer and does not
+/// abort the run.
+Result<ProgramStats> ReplayProgramWithStats(const std::string& path);
+
+}  // namespace classic::obs

@@ -1,0 +1,69 @@
+// Trace spans: decomposing one slow operation into its inference phases.
+//
+// A TraceSpan marks one phase (parse -> normalize -> classify -> test)
+// on the thread executing it. Spans nest through a thread-local stack, so
+// every span records its parent id and a whole query decomposes into a
+// tree. The collected spans dump as Chrome trace_event JSON
+// (chrome://tracing, Perfetto) via TraceJson().
+//
+// Tracing is off by default: a disabled span construction is one relaxed
+// load and a branch, cheap enough to leave spans in serving paths
+// permanently (inference *inner* loops — subsumption, Satisfies — carry
+// counters only, never spans). When CLASSIC_OBS is compiled out, spans
+// vanish entirely.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace classic::obs {
+
+/// \brief Starts collecting spans (clears nothing; use ClearTrace for a
+/// fresh buffer).
+void StartTracing();
+
+/// \brief Stops collecting. In-flight spans on other threads finish
+/// without being recorded.
+void StopTracing();
+
+bool TracingActive();
+
+/// \brief Drops all collected spans.
+void ClearTrace();
+
+/// \brief Number of spans collected so far.
+size_t TraceSpanCount();
+
+/// \brief Chrome trace_event JSON ({"traceEvents": [...]}): one complete
+/// ("ph":"X") event per finished span, with the span id and parent id in
+/// "args". Timestamps are microseconds on the process monotonic clock.
+std::string TraceJson();
+
+/// \brief RAII phase marker. `name` must outlive the span (string
+/// literals in practice).
+class TraceSpan {
+ public:
+#if CLASSIC_OBS
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+#else
+  explicit TraceSpan(const char*) {}
+#endif
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+#if CLASSIC_OBS
+ private:
+  const char* name_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+#endif
+};
+
+}  // namespace classic::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "subsume/subsume_index.h"
 
 namespace classic {
@@ -33,11 +34,16 @@ bool SubsumesCached(const NormalForm& general, const NormalForm& specific,
   if (&general == &specific) return true;
 
   if (index != nullptr && gid != kNoNfId && sid != kNoNfId) {
-    if (std::optional<bool> cached = index->Lookup(gid, sid)) return *cached;
+    if (std::optional<bool> cached = index->Lookup(gid, sid)) {
+      CLASSIC_OBS_COUNT(kSubsumptionMemoHits);
+      return *cached;
+    }
+    CLASSIC_OBS_COUNT(kSubsumptionTests);
     bool result = SubsumesStructural(general, specific, index);
     index->Insert(gid, sid, result);
     return result;
   }
+  CLASSIC_OBS_COUNT(kSubsumptionTests);
   return SubsumesStructural(general, specific, index);
 }
 

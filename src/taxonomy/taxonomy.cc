@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "desc/description.h"
+#include "obs/metrics.h"
 #include "subsume/subsume.h"
 #include "util/string_util.h"
 
@@ -56,6 +57,7 @@ Classification Taxonomy::Classify(
 
 Classification Taxonomy::ClassifyInternal(
     const NormalForm& nf, const std::vector<NodeId>* told_subsumers) const {
+  CLASSIC_OBS_COUNT(kClassifications);
   Classification out;
   size_t tests = 0;
 
@@ -72,6 +74,7 @@ Classification Taxonomy::ClassifyInternal(
     if (gid != kNoNfId && gid == sid) return true;
     if (gid != kNoNfId && sid != kNoNfId) {
       if (std::optional<bool> cached = subsume_index_.Lookup(gid, sid)) {
+        CLASSIC_OBS_COUNT(kSubsumptionMemoHits);
         return *cached;
       }
     }

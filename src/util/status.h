@@ -1,16 +1,13 @@
-// Status / Result error model for the CLASSIC library.
+// Status: the no-payload half of the CLASSIC error model.
 //
 // The core library does not throw exceptions; fallible operations return
-// Status (no payload) or Result<T> (payload or error), in the style of
-// Apache Arrow / RocksDB.
+// Status (no payload) or Result<T> (payload or error, util/result.h), in
+// the style of Apache Arrow / RocksDB.
 
 #pragma once
 
-#include <cassert>
-#include <optional>
 #include <string>
 #include <utility>
-#include <variant>
 
 namespace classic {
 
@@ -109,58 +106,6 @@ class Status {
   std::string message_;
 };
 
-/// \brief Payload-or-error return type.
-///
-/// Holds either a value of type T or an error Status. Accessing the value
-/// of an errored Result aborts in debug builds; callers are expected to
-/// check ok() (or use the CLASSIC_ASSIGN_OR_RETURN macro).
-template <typename T>
-class Result {
- public:
-  /// Implicit construction from a value.
-  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
-
-  /// Implicit construction from an error status. The status must not be OK.
-  Result(Status status) : data_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(data_).ok());
-  }
-
-  bool ok() const { return std::holds_alternative<T>(data_); }
-
-  /// \brief Returns the error status (OK if this Result holds a value).
-  Status status() const {
-    if (ok()) return Status::OK();
-    return std::get<Status>(data_);
-  }
-
-  const T& ValueOrDie() const& {
-    assert(ok());
-    return std::get<T>(data_);
-  }
-  T& ValueOrDie() & {
-    assert(ok());
-    return std::get<T>(data_);
-  }
-  T&& ValueOrDie() && {
-    assert(ok());
-    return std::move(std::get<T>(data_));
-  }
-
-  const T& operator*() const& { return ValueOrDie(); }
-  T& operator*() & { return ValueOrDie(); }
-  const T* operator->() const { return &ValueOrDie(); }
-  T* operator->() { return &ValueOrDie(); }
-
-  /// \brief Returns the value, or `fallback` if this Result holds an error.
-  T ValueOr(T fallback) const {
-    if (ok()) return std::get<T>(data_);
-    return fallback;
-  }
-
- private:
-  std::variant<Status, T> data_;
-};
-
 /// Propagates a non-OK status to the caller.
 #define CLASSIC_RETURN_NOT_OK(expr)                  \
   do {                                               \
@@ -168,15 +113,9 @@ class Result {
     if (!_st.ok()) return _st;                       \
   } while (0)
 
-#define CLASSIC_CONCAT_IMPL(x, y) x##y
-#define CLASSIC_CONCAT(x, y) CLASSIC_CONCAT_IMPL(x, y)
-
-/// Assigns the value of a Result expression to `lhs`, or propagates the
-/// error to the caller.
-#define CLASSIC_ASSIGN_OR_RETURN(lhs, rexpr)                         \
-  auto CLASSIC_CONCAT(_result_, __LINE__) = (rexpr);                 \
-  if (!CLASSIC_CONCAT(_result_, __LINE__).ok())                      \
-    return CLASSIC_CONCAT(_result_, __LINE__).status();              \
-  lhs = std::move(CLASSIC_CONCAT(_result_, __LINE__)).ValueOrDie()
-
 }  // namespace classic
+
+// Compatibility shim: Result<T> and CLASSIC_ASSIGN_OR_RETURN moved to
+// util/result.h; the bulk of the library predates the split and includes
+// only this header. New code should include util/result.h directly.
+#include "util/result.h"  // IWYU pragma: export

@@ -37,41 +37,35 @@ std::vector<QueryRequest> MakeRequests(const bench::SchemaHandles& schema,
     QueryRequest r;
     switch (rng.Below(9)) {
       case 0:
-        r.kind = QueryRequest::Kind::kAsk;
-        r.text = pick(schema.defined_names);
+        r = QueryRequest::Ask(pick(schema.defined_names));
         break;
       case 1:
-        r.kind = QueryRequest::Kind::kAsk;
-        r.text = StrCat("(AND ", pick(schema.primitive_names), " (AT-LEAST 1 ",
-                        pick(schema.role_names), "))");
+        r = QueryRequest::Ask(StrCat("(AND ", pick(schema.primitive_names),
+                                     " (AT-LEAST 1 ", pick(schema.role_names),
+                                     "))"));
         break;
       case 2:
-        r.kind = QueryRequest::Kind::kAskPossible;
-        r.text = pick(schema.defined_names);
+        r = QueryRequest::AskPossible(pick(schema.defined_names));
         break;
       case 3:
-        r.kind = QueryRequest::Kind::kPathQuery;
-        r.text = StrCat("(select (?x ?y) (?x ", pick(schema.defined_names),
-                        ") (?x ", pick(schema.role_names), " ?y))");
+        r = QueryRequest::PathQuery(
+            StrCat("(select (?x ?y) (?x ", pick(schema.defined_names),
+                   ") (?x ", pick(schema.role_names), " ?y))"));
         break;
       case 4:
-        r.kind = QueryRequest::Kind::kDescribeIndividual;
-        r.text = pick(inds);
+        r = QueryRequest::DescribeIndividual(pick(inds));
         break;
       case 5:
-        r.kind = QueryRequest::Kind::kMostSpecificConcepts;
-        r.text = pick(inds);
+        r = QueryRequest::MostSpecificConcepts(pick(inds));
         break;
       case 6:
-        r.kind = QueryRequest::Kind::kInstancesOf;
-        r.text = pick(schema.defined_names);
+        r = QueryRequest::InstancesOf(pick(schema.defined_names));
         break;
       case 7:
         // Marked query: answers are the fillers at the marked position.
-        r.kind = QueryRequest::Kind::kAsk;
-        r.text = StrCat("(AND ", pick(schema.defined_names), " (ALL ",
-                        pick(schema.role_names), " ?:",
-                        pick(schema.primitive_names), "))");
+        r = QueryRequest::Ask(StrCat("(AND ", pick(schema.defined_names),
+                                     " (ALL ", pick(schema.role_names), " ?:",
+                                     pick(schema.primitive_names), "))"));
         break;
       case 8:
         // Enumeration of a host literal that is (usually) NOT in the
@@ -79,8 +73,8 @@ std::vector<QueryRequest> MakeRequests(const bench::SchemaHandles& schema,
         // the snapshot's logically-const caches. The frozen
         // visible-individual bound keeps the answer set independent of
         // which thread interned it first.
-        r.kind = QueryRequest::Kind::kAsk;
-        r.text = StrCat("(ONE-OF ", 100000 + rng.Below(1000), ")");
+        r = QueryRequest::Ask(StrCat("(ONE-OF ", 100000 + rng.Below(1000),
+                                     ")"));
         break;
     }
     out.push_back(std::move(r));

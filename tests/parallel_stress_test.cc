@@ -91,7 +91,7 @@ TEST_F(ParallelStressTest, ReadersStayConsistentWhileWriterPublishes) {
   // reference bytes; re-checked after the writer retires it many times.
   SnapshotPtr early = engine_.snapshot();
   ASSERT_NE(early, nullptr);
-  QueryRequest mark_req{QueryRequest::Kind::kInstancesOf, "STRESS-MARK"};
+  QueryRequest mark_req = QueryRequest::InstancesOf("STRESS-MARK");
   const std::string early_marks =
       KbEngine::ServeQuery(early->kb(), mark_req).Canonical();
 
@@ -140,9 +140,9 @@ TEST_F(ParallelStressTest, ReadersStayConsistentWhileWriterPublishes) {
 
       // Torn-read probe 2: within one snapshot, identical requests give
       // identical bytes even while the writer publishes.
-      QueryRequest probe{QueryRequest::Kind::kAsk,
-                         workload_.schema.defined_names[rng.Below(
-                             workload_.schema.defined_names.size())]};
+      QueryRequest probe =
+          QueryRequest::Ask(workload_.schema.defined_names[rng.Below(
+              workload_.schema.defined_names.size())]);
       std::string once = KbEngine::ServeQuery(snap->kb(), probe).Canonical();
       std::string twice = KbEngine::ServeQuery(snap->kb(), probe).Canonical();
       if (once != twice) {
@@ -152,12 +152,11 @@ TEST_F(ParallelStressTest, ReadersStayConsistentWhileWriterPublishes) {
 
       // General load: a small mixed batch on this snapshot.
       std::vector<QueryRequest> batch;
-      batch.push_back(QueryRequest{
-          QueryRequest::Kind::kDescribeIndividual,
-          workload_.individuals[rng.Below(workload_.individuals.size())]});
-      batch.push_back(QueryRequest{QueryRequest::Kind::kAskPossible,
-                                   workload_.schema.defined_names[rng.Below(
-                                       workload_.schema.defined_names.size())]});
+      batch.push_back(QueryRequest::DescribeIndividual(
+          workload_.individuals[rng.Below(workload_.individuals.size())]));
+      batch.push_back(
+          QueryRequest::AskPossible(workload_.schema.defined_names[rng.Below(
+              workload_.schema.defined_names.size())]));
       for (const QueryAnswer& a :
            engine_.QueryBatchOn(*snap, batch, /*num_threads=*/1)) {
         if (!a.status.ok()) {

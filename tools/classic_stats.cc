@@ -1,0 +1,99 @@
+// classic-stats: inference-cost profiling for CLASSIC programs.
+//
+// Usage:
+//   classic_stats [--format=text|json] [--trace=PATH] FILE...
+//
+// Replays each `.classic` / `.clq` program into a scratch database,
+// publishes it through a KbEngine and serves its query forms against the
+// published snapshot, then reports per-phase inference work (counter
+// deltas, wall time) and the full metrics registry (counters + latency
+// histograms). With --trace=PATH, span collection is active for the
+// whole run and the collected spans are written to PATH as Chrome
+// trace_event JSON (load it in chrome://tracing or Perfetto).
+//
+// Exit status: 0 = reports written, 2 = operational error (unreadable
+// file, failing program form, bad usage).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/stats_runner.h"
+#include "obs/trace.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: classic_stats [--format=text|json] [--trace=PATH] "
+               "FILE...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string trace_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) return Usage();
+
+  if (!trace_path.empty()) {
+    classic::obs::ClearTrace();
+    classic::obs::StartTracing();
+  }
+
+  std::vector<classic::obs::ProgramStats> reports;
+  for (const std::string& file : files) {
+    auto report = classic::obs::ReplayProgramWithStats(file);
+    if (!report.ok()) {
+      std::fprintf(stderr, "classic_stats: %s\n",
+                   report.status().message().c_str());
+      return 2;
+    }
+    reports.push_back(std::move(report).ValueOrDie());
+  }
+
+  if (!trace_path.empty()) {
+    classic::obs::StopTracing();
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "classic_stats: cannot write %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    out << classic::obs::TraceJson() << "\n";
+  }
+
+  if (json) {
+    // One JSON array over all files (a single object still arrives
+    // wrapped, so consumers have one shape to parse).
+    std::fputs("[", stdout);
+    for (size_t i = 0; i < reports.size(); ++i) {
+      if (i > 0) std::fputs(",\n", stdout);
+      std::fputs(reports[i].ToJson().c_str(), stdout);
+    }
+    std::fputs("]\n", stdout);
+  } else {
+    for (size_t i = 0; i < reports.size(); ++i) {
+      if (i > 0) std::fputs("\n", stdout);
+      std::fputs(reports[i].ToText().c_str(), stdout);
+    }
+  }
+  return 0;
+}
