@@ -8,8 +8,16 @@
 //     (bench/run_parallel_bench.sh derives it into BENCH_parallel.json);
 //     on a single-core container it degenerates to ~1x, which the JSON
 //     records alongside the detected core count.
-//   - BM_Publish: cost of cloning + freezing + installing a new epoch,
-//     i.e. the writer-side price of snapshot isolation.
+//   - BM_Publish/N: cost of forking + freezing + installing a new epoch
+//     on an N-individual database (N in {1k, 8k, 64k}), i.e. the
+//     writer-side price of snapshot isolation. Publication is
+//     copy-on-write — O(mutations since the last publish) — so the
+//     steady-state cost is flat across N (each iteration publishes an
+//     unmutated master: the delta floor).
+//   - BM_PublishDelta/N: one mutation, then publish, on the same
+//     databases; only the publish is timed. This is the honest O(delta)
+//     number: delta = 1 assertion, N = 1k vs 64k should be within a
+//     small constant of each other.
 //   - BM_SnapshotAcquire: reader-side cost of grabbing the current epoch
 //     (one mutex-guarded shared_ptr copy).
 //
@@ -17,6 +25,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -110,15 +119,68 @@ void BM_QueryBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+/// A database scaled to `num_individuals` for the publish sweep. Light
+/// fill density: publish cost depends on store sizes, not fill fan-out,
+/// and 64k individuals must stay buildable in bench setup time.
+struct PublishFixture {
+  Database db;
+  KbEngine engine;
+  SchemaHandles schema;
+  std::vector<std::string> individuals;
+
+  explicit PublishFixture(size_t num_individuals) {
+    SchemaSpec sspec;
+    sspec.num_primitives = 96;
+    sspec.num_defined = 96;
+    sspec.num_roles = 12;
+    sspec.seed = 42;
+    schema = BuildSchema(&db, sspec);
+    // A dedicated role no concept restricts: BM_PublishDelta's probe
+    // assertions can never trip a bound or value restriction.
+    (void)db.DefineRole("delta-probe");
+    AboxSpec aspec;
+    aspec.num_individuals = num_individuals;
+    aspec.fills_per_individual = 1;
+    aspec.seed = 7;
+    individuals = PopulateIndividuals(&db, schema, aspec);
+    engine.Reset(db.kb().Clone());
+  }
+};
+
+PublishFixture& PublishFixtureFor(size_t num_individuals) {
+  static auto* cache = new std::map<size_t, std::unique_ptr<PublishFixture>>();
+  std::unique_ptr<PublishFixture>& slot = (*cache)[num_individuals];
+  if (slot == nullptr) slot = std::make_unique<PublishFixture>(num_individuals);
+  return *slot;
+}
+
 void BM_Publish(benchmark::State& state) {
-  ParallelFixture& fx = Fixture();
+  PublishFixture& fx = PublishFixtureFor(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     SnapshotPtr snap = fx.engine.Publish();
     benchmark::DoNotOptimize(snap);
   }
-  state.counters["individuals"] = static_cast<double>(kIndividuals);
+  state.counters["individuals"] = static_cast<double>(state.range(0));
 }
-BENCHMARK(BM_Publish);
+BENCHMARK(BM_Publish)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_PublishDelta(benchmark::State& state) {
+  PublishFixture& fx = PublishFixtureFor(static_cast<size_t>(state.range(0)));
+  size_t next = 0;
+  int64_t probe_value = 1000000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string& ind = fx.individuals[next++ % fx.individuals.size()];
+    Status st = fx.db.AssertInd(
+        ind, StrCat("(FILLS delta-probe ", probe_value++, ")"));
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    state.ResumeTiming();
+    SnapshotPtr snap = fx.engine.PublishFrom(fx.db.kb());
+    benchmark::DoNotOptimize(snap);
+  }
+  state.counters["individuals"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PublishDelta)->Arg(1024)->Arg(65536)->Iterations(256);
 
 void BM_SnapshotAcquire(benchmark::State& state) {
   ParallelFixture& fx = Fixture();

@@ -33,6 +33,12 @@ if [[ "$TSAN_ONLY" -eq 0 ]]; then
   ./build/tools/classic_stats --format=json examples/university.classic |
     python3 scripts/check_stats_schema.py
 
+  echo "== perf: publish-cost regression guard (smoke-mode bench)"
+  cmake --build build -j"$JOBS" --target bench_parallel
+  ./build/bench/bench_parallel --benchmark_filter='BM_Publish/1024$' \
+      --benchmark_format=json --benchmark_min_time=0.05 2> /dev/null |
+    python3 scripts/check_publish_cost.py
+
   echo "== obs: -DCLASSIC_OBS=OFF build (instrumentation compiles out)"
   cmake -B build-noobs -S . -DCLASSIC_OBS=OFF > /dev/null
   cmake --build build-noobs -j"$JOBS" --target \
@@ -52,7 +58,8 @@ fi
 echo "== tsan: configure + build parallel suites"
 cmake -B build-tsan -S . -DCLASSIC_TSAN=ON > /dev/null
 cmake --build build-tsan -j"$JOBS" --target \
-  parallel_diff_test parallel_stress_test obs_parallel_test
+  parallel_diff_test parallel_stress_test obs_parallel_test \
+  epoch_persistence_test
 
 echo "== tsan: parallel_diff_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_diff_test
@@ -60,5 +67,7 @@ echo "== tsan: parallel_stress_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
 echo "== tsan: obs_parallel_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_parallel_test
+echo "== tsan: epoch_persistence_test"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/epoch_persistence_test
 
 echo "== all checks passed"

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Publish-cost regression guard.
+
+Reads Google Benchmark JSON (--benchmark_format=json) on stdin, finds the
+BM_Publish/1024 run, and fails if its ns_per_op exceeds the baseline by
+more than the allowed factor. The baseline is the COW publication target
+from the O(delta) epoch work: publish at 1,024 individuals must stay in
+the tens-of-microseconds range, never regress back toward the ~3 ms
+deep-copy Clone() it replaced.
+
+Usage:
+  ./build/bench/bench_parallel --benchmark_filter='BM_Publish/1024$' \
+      --benchmark_format=json --benchmark_min_time=0.05 |
+    python3 scripts/check_publish_cost.py
+"""
+
+import json
+import sys
+
+# Budget for BM_Publish/1024 in nanoseconds. The COW publish measures in
+# the single-digit-microsecond range on the CI container; 2x headroom over
+# a 50 us ceiling still catches any accidental reintroduction of an O(n)
+# copy (the deep-copy publish was ~3,000,000 ns).
+BASELINE_NS = 50_000.0
+MAX_FACTOR = 2.0
+
+TARGET = "BM_Publish/1024"
+
+
+def main() -> int:
+    data = json.load(sys.stdin)
+    runs = [
+        b
+        for b in data.get("benchmarks", [])
+        if b.get("name") == TARGET and b.get("run_type") != "aggregate"
+    ]
+    if not runs:
+        print(f"check_publish_cost: no {TARGET} run in input", file=sys.stderr)
+        return 1
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    ns = runs[0]["real_time"] * scale.get(runs[0]["time_unit"], 1.0)
+    limit = BASELINE_NS * MAX_FACTOR
+    verdict = "ok" if ns <= limit else "REGRESSION"
+    print(
+        f"check_publish_cost: {TARGET} = {ns:,.0f} ns/op "
+        f"(limit {limit:,.0f} ns) -> {verdict}"
+    )
+    return 0 if ns <= limit else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,9 +31,11 @@
 namespace classic {
 
 /// \brief A CLASSIC database instance. Single-writer; not thread-safe by
-/// itself — for concurrent query serving, adopt a Clone() of kb() into a
-/// KbEngine (kb/kb_engine.h), which publishes immutable snapshots to any
-/// number of reader threads.
+/// itself — for concurrent query serving, hand kb() to
+/// KbEngine::ResetFrom (kb/kb_engine.h), which forks it copy-on-write
+/// and publishes immutable epoch snapshots to any number of reader
+/// threads. Publication is O(mutations since the last epoch), not
+/// O(database): snapshots share chunked storage with the master.
 class Database {
  public:
   Database();

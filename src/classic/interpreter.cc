@@ -41,6 +41,40 @@ std::string Rest(const sexpr::Value& op, size_t from) {
   return out;
 }
 
+/// Maps a read-only query form to the engine request it corresponds to,
+/// for as-of-epoch evaluation.
+Result<QueryRequest> AsOfRequest(const sexpr::Value& op) {
+  if (!op.IsList() || op.size() == 0 || !op.at(0).IsSymbol()) {
+    return Status::InvalidArgument(
+        StrCat("as-of needs a query form, got: ", op.ToString()));
+  }
+  const std::string& head = op.at(0).text();
+  if (head == "ask") return QueryRequest::Ask(Rest(op, 1));
+  if (head == "ask-possible") return QueryRequest::AskPossible(Rest(op, 1));
+  if (head == "ask-description") {
+    return QueryRequest::AskDescription(Rest(op, 1));
+  }
+  if (head == "instances") {
+    CLASSIC_ASSIGN_OR_RETURN(std::string name,
+                             SymbolArg(op, 1, "concept name"));
+    return QueryRequest::InstancesOf(std::move(name));
+  }
+  if (head == "msc") {
+    CLASSIC_ASSIGN_OR_RETURN(std::string name,
+                             SymbolArg(op, 1, "individual name"));
+    return QueryRequest::MostSpecificConcepts(std::move(name));
+  }
+  if (head == "describe") {
+    CLASSIC_ASSIGN_OR_RETURN(std::string name,
+                             SymbolArg(op, 1, "individual name"));
+    return QueryRequest::DescribeIndividual(std::move(name));
+  }
+  return Status::InvalidArgument(
+      StrCat("as-of cannot evaluate ", head,
+             " (read-only query forms only: ask, ask-possible, "
+             "ask-description, instances, msc, describe)"));
+}
+
 }  // namespace
 
 Result<std::string> Interpreter::Execute(const sexpr::Value& op) {
@@ -404,7 +438,53 @@ Result<std::string> Interpreter::Execute(const sexpr::Value& op) {
     return std::string("ok");
   }
 
+  if (head == "publish") {
+    SnapshotPtr snap = Engine().PublishFrom(db_->kb());
+    return StrCat("epoch ", snap->epoch());
+  }
+
+  if (head == "epochs") {
+    if (engine_ == nullptr) return std::string("()");
+    std::vector<std::string> names;
+    for (uint64_t e : engine_->RetainedEpochs()) {
+      names.push_back(StrCat(e));
+    }
+    return FormatNames(names);
+  }
+
+  if (head == "as-of") {
+    if (op.size() != 3 || !op.at(1).IsInteger()) {
+      return Status::InvalidArgument(
+          StrCat("as-of needs an epoch number and a query form: ",
+                 op.ToString()));
+    }
+    if (engine_ == nullptr) {
+      return Status::NotFound("no epoch published yet; run (publish) first");
+    }
+    const uint64_t epoch = static_cast<uint64_t>(op.at(1).integer());
+    CLASSIC_ASSIGN_OR_RETURN(QueryRequest req, AsOfRequest(op.at(2)));
+    SnapshotPtr snap = engine_->SnapshotAt(epoch);
+    if (snap == nullptr) {
+      return Status::NotFound(
+          StrCat("epoch ", epoch, " is not retained; see (epochs)"));
+    }
+    QueryAnswer ans = KbEngine::ServeQuery(snap->kb(), req);
+    CLASSIC_RETURN_NOT_OK(ans.status);
+    if (req.kind == QueryRequest::Kind::kAskDescription ||
+        req.kind == QueryRequest::Kind::kDescribeIndividual) {
+      return Join(ans.values, "\n");
+    }
+    return FormatNames(ans.values);
+  }
+
   return Status::InvalidArgument(StrCat("unknown operation: ", head));
+}
+
+KbEngine& Interpreter::Engine() {
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<KbEngine>(KbEngine::Options{.num_threads = 1});
+  }
+  return *engine_;
 }
 
 Result<std::string> Interpreter::ExecuteString(const std::string& text) {

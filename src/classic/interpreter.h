@@ -22,13 +22,25 @@
 //   (concept-aspect NAME ASPECT [role])
 //   (ind-aspect IndName ASPECT role)
 //   (save-snapshot "path")           (load "path")
+//   (publish)                        (epochs)
+//   (as-of EPOCH <query-op>)
+//
+// The epoch forms expose O(delta) copy-on-write publication: (publish)
+// captures the database's current state as the next epoch (cost
+// proportional to the mutations since the previous capture — snapshots
+// share chunked storage with the live database), (epochs) lists the
+// retained epoch numbers, and (as-of N <op>) evaluates a read-only query
+// form — ask, ask-possible, ask-description, instances, msc, describe —
+// against retained epoch N, i.e. against history.
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "classic/database.h"
+#include "kb/kb_engine.h"
 #include "sexpr/sexpr.h"
 #include "util/status.h"
 
@@ -51,7 +63,12 @@ class Interpreter {
   Result<std::vector<std::string>> ExecuteProgram(const std::string& text);
 
  private:
+  /// Lazily created on the first (publish): the epoch-serving engine
+  /// behind (epochs) and (as-of ...).
+  KbEngine& Engine();
+
   Database* db_;
+  std::unique_ptr<KbEngine> engine_;
 };
 
 }  // namespace classic

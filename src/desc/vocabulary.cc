@@ -68,6 +68,7 @@ AtomId Vocabulary::AddAtom(AtomInfo info) const {
 
 Result<RoleId> Vocabulary::DefineRole(std::string_view name, bool attribute) {
   Symbol sym = symbols_.Intern(name);
+  std::lock_guard<std::mutex> lock(role_mutex_);
   auto it = role_by_name_.find(sym);
   if (it != role_by_name_.end()) {
     if (roles_[it->second].attribute == attribute) return it->second;
@@ -81,6 +82,7 @@ Result<RoleId> Vocabulary::DefineRole(std::string_view name, bool attribute) {
 }
 
 Result<RoleId> Vocabulary::FindRole(Symbol name) const {
+  std::lock_guard<std::mutex> lock(role_mutex_);
   auto it = role_by_name_.find(name);
   if (it == role_by_name_.end()) {
     return Status::NotFound(
@@ -210,6 +212,7 @@ IndId Vocabulary::InternHostValue(const HostValue& v) const {
 }
 
 Result<IndId> Vocabulary::FindIndividual(Symbol name) const {
+  std::lock_guard<std::mutex> lock(ind_mutex_);
   auto it = ind_by_name_.find(name);
   if (it == ind_by_name_.end()) {
     return Status::NotFound(
@@ -227,6 +230,7 @@ std::string Vocabulary::IndividualName(IndId id) const {
 
 Result<ConceptId> Vocabulary::DefineConcept(Symbol name, DescPtr source,
                                             NormalFormPtr nf) {
+  std::lock_guard<std::mutex> lock(concept_mutex_);
   if (concept_by_name_.count(name) > 0) {
     return Status::AlreadyExists(
         StrCat("concept ", symbols_.Name(name), " already defined"));
@@ -238,6 +242,7 @@ Result<ConceptId> Vocabulary::DefineConcept(Symbol name, DescPtr source,
 }
 
 Result<ConceptId> Vocabulary::FindConcept(Symbol name) const {
+  std::lock_guard<std::mutex> lock(concept_mutex_);
   auto it = concept_by_name_.find(name);
   if (it == concept_by_name_.end()) {
     return Status::NotFound(
@@ -247,11 +252,18 @@ Result<ConceptId> Vocabulary::FindConcept(Symbol name) const {
 }
 
 bool Vocabulary::HasConcept(Symbol name) const {
+  std::lock_guard<std::mutex> lock(concept_mutex_);
   return concept_by_name_.count(name) > 0;
+}
+
+bool Vocabulary::HasTest(Symbol name) const {
+  std::lock_guard<std::mutex> lock(test_mutex_);
+  return tests_.count(name) > 0;
 }
 
 Result<Symbol> Vocabulary::RegisterTest(std::string_view name, TestFn fn) {
   Symbol sym = symbols_.Intern(name);
+  std::lock_guard<std::mutex> lock(test_mutex_);
   if (tests_.count(sym) > 0) {
     return Status::AlreadyExists(StrCat("test ", name, " already registered"));
   }
@@ -260,6 +272,7 @@ Result<Symbol> Vocabulary::RegisterTest(std::string_view name, TestFn fn) {
 }
 
 Result<const TestFn*> Vocabulary::FindTest(Symbol name) const {
+  std::lock_guard<std::mutex> lock(test_mutex_);
   auto it = tests_.find(name);
   if (it == tests_.end()) {
     return Status::NotFound(

@@ -96,12 +96,18 @@ struct ConceptInfo {
 ///
 /// Thread-safety: schema mutations (DefineRole/DefineConcept/
 /// CreateIndividual/RegisterTest) follow the database's single-writer
-/// discipline. The *logically-const interning caches* — the symbol
-/// table, primitive-atom pool and host-value pool, all of which may grow
-/// while a read-only query is normalized — are internally synchronized,
-/// so any number of reader threads can share one published snapshot.
-/// Lookups of already-published entries are lock-free (stable storage,
-/// release-published sizes).
+/// discipline. Since epoch publication went copy-on-write, ONE Vocabulary
+/// object is shared by the master and every published snapshot (that is
+/// what keeps Symbols/IndIds/NfIds consistent across epochs at zero
+/// publish cost), so the single writer may run DDL *while* reader threads
+/// serve queries from snapshots. Every store is therefore safe for
+/// one-writer/many-reader use: entry storage is append-only StableVector
+/// (stable addresses, release-published sizes; id-indexed reads are
+/// lock-free) and every by-name directory lookup takes its store's
+/// mutex. The interning caches (symbol table, primitive-atom pool,
+/// host-value pool) additionally support concurrent *interning* from
+/// reader threads, as before. Readers never see a half-defined entry:
+/// ids are published only after the entry is complete.
 class Vocabulary {
  public:
   Vocabulary();
@@ -206,7 +212,7 @@ class Vocabulary {
 
   /// \brief Returns the test function registered under `name`.
   Result<const TestFn*> FindTest(Symbol name) const;
-  bool HasTest(Symbol name) const { return tests_.count(name) > 0; }
+  bool HasTest(Symbol name) const;
 
  private:
   /// Caller holds atom_mutex_ (or is the constructor / a copy).
@@ -214,8 +220,12 @@ class Vocabulary {
 
   mutable SymbolTable symbols_;
 
-  std::vector<RoleInfo> roles_;
+  /// Role/concept storage is stable append-only so id-indexed accessors
+  /// stay lock-free while the writer defines more; the name directories
+  /// are mutex-guarded (snapshot queries resolve names while DDL runs).
+  StableVector<RoleInfo> roles_;
   std::map<Symbol, RoleId> role_by_name_;
+  mutable std::mutex role_mutex_;
 
   /// Atom storage is stable and its directory maps are guarded:
   /// PrimitiveAtom / DisjointPrimitiveAtom are reachable from read-only
@@ -227,17 +237,22 @@ class Vocabulary {
   mutable std::mutex atom_mutex_;
 
   /// Same story for individuals: host-value interning is reachable from
-  /// query normalization. ind_by_name_ is writer-only (host individuals
-  /// are anonymous) and needs no lock.
+  /// query normalization, and with a shared vocabulary the by-name
+  /// directory is read by snapshot queries while the writer creates
+  /// individuals — so FindIndividual locks too.
   mutable StableVector<IndInfo> inds_;
   std::map<Symbol, IndId> ind_by_name_;
   mutable std::map<HostValue, IndId> host_ind_by_value_;
   mutable std::mutex ind_mutex_;
 
-  std::vector<ConceptInfo> concepts_;
+  StableVector<ConceptInfo> concepts_;
   std::map<Symbol, ConceptId> concept_by_name_;
+  mutable std::mutex concept_mutex_;
 
+  /// Node-based map: TestFn addresses handed out by FindTest stay valid
+  /// while the writer registers more tests.
   std::map<Symbol, TestFn> tests_;
+  mutable std::mutex test_mutex_;
 
   AtomId classic_thing_atom_ = kNoId;
   AtomId host_thing_atom_ = kNoId;

@@ -28,7 +28,14 @@ Result<IndId> FindIndByName(const KnowledgeBase& kb, const std::string& name) {
   if (sym == kNoSymbol) {
     return Status::NotFound(StrCat("unknown individual: ", name));
   }
-  return kb.vocab().FindIndividual(sym);
+  Result<IndId> ind = kb.vocab().FindIndividual(sym);
+  // The vocabulary is shared across epochs (COW publication), so a name
+  // interned by the live master after this epoch froze still resolves
+  // here. Visibility is the epoch's frozen bound, not the directory.
+  if (ind.ok() && *ind >= kb.num_visible_individuals()) {
+    return Status::NotFound(StrCat("unknown individual: ", name));
+  }
+  return ind;
 }
 
 /// Total worker-thread count backing a serving concurrency of `total`
@@ -123,6 +130,25 @@ KbEngine::~KbEngine() = default;
 
 SnapshotPtr KbEngine::Reset(std::unique_ptr<KnowledgeBase> master) {
   master_ = std::move(master);
+  {
+    // A new master starts a new lineage; epochs retained from the old
+    // one must not answer as-of queries for it.
+    std::lock_guard<std::mutex> lock(current_mutex_);
+    retained_.clear();
+  }
+  return Publish();
+}
+
+SnapshotPtr KbEngine::ResetFrom(const KnowledgeBase& source) {
+  return Reset(source.Clone());
+}
+
+SnapshotPtr KbEngine::PublishFrom(KnowledgeBase& source) {
+  // The writer mutated `source` (not our master), so the copy-down work
+  // for this epoch's delta accrued on its counters; drain them here so
+  // the fresh clone's zeroed counters don't report the epoch as free.
+  CLASSIC_OBS_COUNT_N(kPublishChunksCopied, source.TakeCowCopyCount());
+  master_ = source.Clone();
   return Publish();
 }
 
@@ -146,14 +172,23 @@ SnapshotPtr KbEngine::Publish() {
   const uint64_t start = obs::MonotonicNanos();
 #endif
   CLASSIC_OBS_COUNT(kEpochPublishes);
+  // Drain copy counters accumulated by writer mutations since the last
+  // publish BEFORE forking, so the count reported for this epoch is
+  // exactly the chunks path-copied to assemble its delta.
+  CLASSIC_OBS_COUNT_N(kPublishChunksCopied, master_->TakeCowCopyCount());
   std::unique_ptr<KnowledgeBase> clone = master_->Clone();
   clone->FreezeVisibleIndividuals();
+  CLASSIC_OBS_COUNT_N(kPublishBytesShared, clone->ApproxSharedCowBytes());
   const uint64_t e = epoch_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto snap = std::make_shared<const KbSnapshot>(
       std::unique_ptr<const KnowledgeBase>(std::move(clone)), e);
   {
     std::lock_guard<std::mutex> lock(current_mutex_);
     current_ = snap;
+    retained_.push_back(snap);
+    if (retained_.size() > kRetainedEpochs) {
+      retained_.erase(retained_.begin());
+    }
   }
 #if CLASSIC_OBS
   obs::RecordLatency(obs::Op::kPublish, obs::MonotonicNanos() - start);
@@ -171,6 +206,22 @@ SnapshotPtr KbEngine::snapshot() const {
 uint64_t KbEngine::epoch() const {
   SnapshotPtr s = snapshot();
   return s ? s->epoch() : 0;
+}
+
+SnapshotPtr KbEngine::SnapshotAt(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(current_mutex_);
+  for (const SnapshotPtr& s : retained_) {
+    if (s->epoch() == epoch) return s;
+  }
+  return nullptr;
+}
+
+std::vector<uint64_t> KbEngine::RetainedEpochs() const {
+  std::lock_guard<std::mutex> lock(current_mutex_);
+  std::vector<uint64_t> out;
+  out.reserve(retained_.size());
+  for (const SnapshotPtr& s : retained_) out.push_back(s->epoch());
+  return out;
 }
 
 QueryAnswer KbEngine::ServeQuery(const KnowledgeBase& kb,
@@ -328,7 +379,22 @@ std::vector<QueryAnswer> KbEngine::QueryBatchOn(
     const KbSnapshot& snap, const std::vector<QueryRequest>& requests,
     size_t num_threads) {
   std::vector<QueryAnswer> out(requests.size());
-  auto serve = [&](size_t i) { out[i] = ServeQuery(snap.kb(), requests[i]); };
+  auto serve = [&](size_t i) {
+    const QueryRequest& req = requests[i];
+    if (req.as_of_epoch != 0 && req.as_of_epoch != snap.epoch()) {
+      SnapshotPtr old = SnapshotAt(req.as_of_epoch);
+      if (!old) {
+        out[i].status = Status::NotFound(
+            StrCat("epoch ", req.as_of_epoch,
+                   " is not retained (as-of window is the last ",
+                   kRetainedEpochs, " epochs)"));
+        return;
+      }
+      out[i] = ServeQuery(old->kb(), req);  // `old` keeps the epoch alive
+      return;
+    }
+    out[i] = ServeQuery(snap.kb(), req);
+  };
   if (num_threads == 1) {
     for (size_t i = 0; i < requests.size(); ++i) serve(i);
   } else if (num_threads == 0) {

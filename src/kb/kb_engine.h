@@ -4,7 +4,10 @@
 //
 //   - a single writer thread calls Mutate() (or edits master() directly
 //     and calls Publish()); every successful mutation round publishes a
-//     fresh immutable epoch (kb/epoch.h);
+//     fresh immutable epoch (kb/epoch.h). Publication is a copy-on-write
+//     fork — O(mutations since the last publish), not O(database) — so
+//     the engine can afford to keep a ring of recent epochs alive and
+//     serve "as of epoch N" queries against them (QueryRequest::AsOf);
 //   - any number of reader threads call snapshot() / ServeQuery() /
 //     QueryBatch(); readers never block the writer and never observe a
 //     half-applied update — they hold whole-database snapshots;
@@ -67,6 +70,18 @@ struct QueryRequest {
 
   Kind kind = Kind::kAsk;
   std::string text;
+  /// Epoch to evaluate against: 0 = the batch's snapshot (current). A
+  /// nonzero value routes the request to that retained epoch — O(delta)
+  /// publication keeps a short ring of recent epochs alive (chunk storage
+  /// is shared, so a retained epoch costs only its delta). Requests
+  /// naming an unretained epoch fail with NotFound.
+  uint64_t as_of_epoch = 0;
+
+  /// Fluent as-of marker: `QueryRequest::Ask("(...)").AsOf(3)`.
+  QueryRequest AsOf(uint64_t epoch) && {
+    as_of_epoch = epoch;
+    return std::move(*this);
+  }
 
   // Named constructors, one per kind.
   static QueryRequest Ask(std::string query);
@@ -145,16 +160,37 @@ class KbEngine {
   /// epoch. Writer-side only.
   SnapshotPtr Reset(std::unique_ptr<KnowledgeBase> master);
 
+  /// \brief Adopts `source` as the master via its O(delta) copy-on-write
+  /// Clone() and publishes. The source stays usable; the engine's copies
+  /// share chunk storage with it.
+  SnapshotPtr ResetFrom(const KnowledgeBase& source);
+
+  /// \brief Captures `source`'s current state as the next epoch of the
+  /// SAME lineage: unlike Reset/ResetFrom, the retained-epoch ring is
+  /// kept, so earlier captures stay queryable as-of. Successive captures
+  /// of an evolving database share chunk storage with it and with each
+  /// other — each publish costs only that round's delta. Non-const: the
+  /// source's copy-down counters are drained into the
+  /// `publish-chunks-copied` figure for this epoch.
+  SnapshotPtr PublishFrom(KnowledgeBase& source);
+
   /// \brief Applies `fn` to the master and, if it succeeds, publishes a
   /// new epoch. On failure nothing is published (individual KB updates
   /// are themselves atomic, so the master is still consistent).
   Status Mutate(const std::function<Status(KnowledgeBase*)>& fn);
 
-  /// \brief Clones the master, freezes its visible-individual bound and
-  /// atomically installs it as the current epoch. Returns the new
-  /// snapshot. Readers already holding older epochs are unaffected;
-  /// retired epochs are reclaimed when their last holder releases them.
+  /// \brief Forks the master copy-on-write (O(delta) in the mutations
+  /// since the previous publish — chunked stores share chunk
+  /// directories, instance indexes share frozen delta layers), freezes
+  /// its visible-individual bound and atomically installs it as the
+  /// current epoch. Returns the new snapshot. Readers already holding
+  /// older epochs are unaffected; the engine additionally retains the
+  /// last kRetainedEpochs epochs for as-of serving, after which retired
+  /// epochs are reclaimed when their last holder releases them.
   SnapshotPtr Publish();
+
+  /// How many recent epochs Publish keeps alive for as-of queries.
+  static constexpr size_t kRetainedEpochs = 8;
 
   // --- Reader side (any thread) ------------------------------------------
 
@@ -163,6 +199,14 @@ class KbEngine {
 
   /// \brief Epoch number of the current snapshot (0 before any publish).
   uint64_t epoch() const;
+
+  /// \brief The retained snapshot with epoch number `epoch`, or null if
+  /// that epoch was never published or has rotated out of the ring.
+  SnapshotPtr SnapshotAt(uint64_t epoch) const;
+
+  /// \brief Epoch numbers currently retained for as-of serving (oldest
+  /// first; the last entry is the current epoch).
+  std::vector<uint64_t> RetainedEpochs() const;
 
   /// \brief Evaluates one request against an arbitrary database view.
   /// Pure read (modulo internally synchronized caches); thread-safe on a
@@ -178,7 +222,9 @@ class KbEngine {
   std::vector<QueryAnswer> QueryBatch(const std::vector<QueryRequest>& requests,
                                       size_t num_threads = 0);
 
-  /// \brief Same, against a caller-supplied snapshot.
+  /// \brief Same, against a caller-supplied snapshot. Requests carrying a
+  /// nonzero `as_of_epoch` are routed to that retained epoch instead (and
+  /// fail with NotFound if it is no longer retained).
   std::vector<QueryAnswer> QueryBatchOn(const KbSnapshot& snap,
                                         const std::vector<QueryRequest>& requests,
                                         size_t num_threads = 0);
@@ -199,6 +245,9 @@ class KbEngine {
   std::atomic<uint64_t> epoch_counter_{0};
   /// Current epoch; written by Publish (writer), read by everyone.
   std::shared_ptr<const KbSnapshot> current_;
+  /// Ring of the last kRetainedEpochs published epochs (oldest first),
+  /// kept alive for as-of queries. Guarded by current_mutex_.
+  std::vector<std::shared_ptr<const KbSnapshot>> retained_;
   mutable std::mutex current_mutex_;
 
   ThreadPool pool_;

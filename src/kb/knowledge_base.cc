@@ -46,10 +46,10 @@ class PropagationEngine {
   /// Merges extra knowledge into an individual's derived state.
   Status MergeInto(IndId ind, const NormalForm& nf) {
     IndividualState& st = Touch(ind);
-    NormalFormPtr merged = kb_->normalizer_.Meet(*st.derived, nf);
+    NormalFormPtr merged = kb_->normalizer_->Meet(*st.derived, nf);
     if (merged->incoherent()) {
       return Status::Inconsistent(
-          StrCat("update would make ", kb_->vocab_.IndividualName(ind),
+          StrCat("update would make ", kb_->vocab_->IndividualName(ind),
                  " incoherent (",
                  IncoherenceKindName(merged->incoherence_kind()),
                  "): ", merged->incoherence_reason()));
@@ -68,9 +68,8 @@ class PropagationEngine {
       st.derived = merged;
       Enqueue(ind);
       // Whoever references this individual may now recognize more.
-      auto it = kb_->referenced_by_.find(ind);
-      if (it != kb_->referenced_by_.end()) {
-        for (IndId host : it->second) Enqueue(host);
+      if (const std::set<IndId>* refs = kb_->referenced_by_.Find(ind)) {
+        for (IndId host : *refs) Enqueue(host);
       }
     }
     return Status::OK();
@@ -88,20 +87,20 @@ class PropagationEngine {
 
   void Rollback() {
     for (auto& [ind, saved] : undo_) {
-      kb_->states_[ind] = std::move(saved);
+      kb_->MutableState(ind) = std::move(saved);
     }
     for (const auto& [node, ind] : instance_inserts_) {
-      kb_->instances_[node].erase(ind);
+      kb_->instances_.Mutable(node).erase(ind);
     }
     for (const auto& [filler, host] : refs_added_) {
-      kb_->referenced_by_[filler].erase(host);
+      kb_->referenced_by_.Mutable(filler).erase(host);
     }
     ++kb_->stats_.rejected_updates;
   }
 
  private:
   IndividualState& Touch(IndId ind) {
-    IndividualState& st = kb_->StateRef(ind);
+    IndividualState& st = kb_->MutableState(ind);
     undo_.try_emplace(ind, st);
     return st;
   }
@@ -129,7 +128,7 @@ class PropagationEngine {
     NormalFormPtr derived = kb_->StateRef(ind).derived;  // snapshot
     for (const auto& [role, rr] : derived->roles()) {
       for (IndId filler : rr.fillers) {
-        if (kb_->referenced_by_[filler].insert(ind).second) {
+        if (kb_->referenced_by_.Mutable(filler).insert(ind).second) {
           refs_added_.emplace_back(filler, ind);
         }
         if (!rr.value_restriction || rr.value_restriction->IsThing()) {
@@ -141,15 +140,15 @@ class PropagationEngine {
           if (!st.ok()) {
             return st.WithContext(
                 StrCat("propagating (ALL ",
-                       kb_->vocab_.symbols().Name(kb_->vocab_.role(role).name),
-                       " ...) from ", kb_->vocab_.IndividualName(ind)));
+                       kb_->vocab_->symbols().Name(kb_->vocab_->role(role).name),
+                       " ...) from ", kb_->vocab_->IndividualName(ind)));
           }
         } else if (!kb_->Satisfies(filler, vr)) {
           return Status::Inconsistent(
-              StrCat("host filler ", kb_->vocab_.IndividualName(filler),
+              StrCat("host filler ", kb_->vocab_->IndividualName(filler),
                      " of role ",
-                     kb_->vocab_.symbols().Name(kb_->vocab_.role(role).name),
-                     " on ", kb_->vocab_.IndividualName(ind),
+                     kb_->vocab_->symbols().Name(kb_->vocab_->role(role).name),
+                     " on ", kb_->vocab_->IndividualName(ind),
                      " violates the value restriction"));
         }
       }
@@ -172,9 +171,9 @@ class PropagationEngine {
         if (value && *value != *v) {
           return Status::Inconsistent(
               StrCat("co-reference conflict on ",
-                     kb_->vocab_.IndividualName(ind), ": paths resolve to ",
-                     kb_->vocab_.IndividualName(*value), " and ",
-                     kb_->vocab_.IndividualName(*v)));
+                     kb_->vocab_->IndividualName(ind), ": paths resolve to ",
+                     kb_->vocab_->IndividualName(*value), " and ",
+                     kb_->vocab_->IndividualName(*v)));
         }
         value = v;
       }
@@ -188,8 +187,8 @@ class PropagationEngine {
             kb_->StateRef(*holder).derived->role(path.back());
         if (rr.fillers.count(*value) > 0) continue;
         NormalForm fill;
-        fill.MutableRole(path.back(), kb_->vocab_)->fillers.insert(*value);
-        fill.Tighten(kb_->vocab_);
+        fill.MutableRole(path.back(), *kb_->vocab_)->fillers.insert(*value);
+        fill.Tighten(*kb_->vocab_);
         Status st = MergeInto(*holder, fill);
         if (!st.ok()) return st.WithContext("propagating SAME-AS filler");
       }
@@ -222,15 +221,16 @@ class PropagationEngine {
         if (seen.insert(child).second) queue.push_back(child);
       }
     }
-    IndividualState& st = kb_->StateRef(ind);
+    const IndividualState& st = kb_->StateRef(ind);
     // Monotonicity guard: recognition never retracts (paper Section 5).
     subs.insert(st.subsumer_nodes.begin(), st.subsumer_nodes.end());
     if (subs == st.subsumer_nodes) return;
-    Touch(ind);
-    IndividualState& stw = kb_->StateRef(ind);
+    // Touch may path-copy the record's chunk; `st`/`already` stay valid
+    // (they alias the shared pre-copy chunk) but are stale from here on.
+    IndividualState& stw = Touch(ind);
     for (NodeId node : subs) {
       if (stw.subsumer_nodes.count(node) == 0) {
-        if (kb_->instances_[node].insert(ind).second) {
+        if (kb_->instances_.Mutable(node).insert(ind).second) {
           instance_inserts_.emplace_back(node, ind);
         }
       }
@@ -258,9 +258,9 @@ class PropagationEngine {
     {
       const IndividualState& st = kb_->StateRef(ind);
       for (NodeId node : st.subsumer_nodes) {
-        auto it = kb_->rules_on_node_.find(node);
-        if (it == kb_->rules_on_node_.end()) continue;
-        for (size_t idx : it->second) {
+        const std::vector<size_t>* on_node = kb_->rules_on_node_.Find(node);
+        if (on_node == nullptr) continue;
+        for (size_t idx : *on_node) {
           if (st.applied_rules.count(idx) == 0) pending.push_back(idx);
         }
       }
@@ -273,8 +273,8 @@ class PropagationEngine {
       if (!st.ok()) {
         return st.WithContext(StrCat(
             "firing rule on ",
-            kb_->vocab_.symbols().Name(
-                kb_->vocab_.concept_info(kb_->rules_[idx].antecedent_concept)
+            kb_->vocab_->symbols().Name(
+                kb_->vocab_->concept_info(kb_->rules_[idx].antecedent_concept)
                     .name)));
       }
     }
@@ -293,28 +293,51 @@ class PropagationEngine {
 // KnowledgeBase
 // ---------------------------------------------------------------------------
 
-KnowledgeBase::KnowledgeBase() : normalizer_(&vocab_), taxonomy_(&vocab_) {}
+KnowledgeBase::KnowledgeBase()
+    : vocab_(std::make_shared<Vocabulary>()),
+      normalizer_(std::make_shared<Normalizer>(vocab_.get())),
+      taxonomy_(vocab_.get()) {}
 
+// The copy-on-write epoch copy: vocabulary, normalizer and subsumption
+// memo are shared outright (they are internally synchronized interning
+// caches whose growth never changes database meaning); the chunked
+// stores share chunk directories; the delta maps freeze their overlays
+// and share every layer. Cost is O(accumulated delta), independent of
+// database size.
 KnowledgeBase::KnowledgeBase(const KnowledgeBase& other)
     : vocab_(other.vocab_),
-      normalizer_(other.normalizer_, &vocab_),
-      taxonomy_(other.taxonomy_, &vocab_),
+      normalizer_(other.normalizer_),
+      taxonomy_(other.taxonomy_, other.vocab_.get()),
       states_(other.states_),
       visible_ind_limit_(other.visible_ind_limit_),
       base_log_(other.base_log_),
-      instances_(other.instances_),
-      rules_on_node_(other.rules_on_node_),
+      instances_(other.instances_.Fork()),
+      rules_on_node_(other.rules_on_node_.Fork()),
       rules_(other.rules_),
-      referenced_by_(other.referenced_by_),
+      referenced_by_(other.referenced_by_.Fork()),
       stats_(other.stats_) {}
 
 std::unique_ptr<KnowledgeBase> KnowledgeBase::Clone() const {
   return std::unique_ptr<KnowledgeBase>(new KnowledgeBase(*this));
 }
 
+size_t KnowledgeBase::TakeCowCopyCount() {
+  return states_.TakeChunkCopies() + base_log_.TakeChunkCopies() +
+         instances_.TakeValueCopies() + referenced_by_.TakeValueCopies() +
+         rules_on_node_.TakeValueCopies() + taxonomy_.TakeCowCopies();
+}
+
+size_t KnowledgeBase::ApproxSharedCowBytes() const {
+  return states_.ApproxChunkBytes() + base_log_.ApproxChunkBytes() +
+         taxonomy_.ApproxSharedBytes() +
+         (instances_.ApproxFrozenEntries() +
+          referenced_by_.ApproxFrozenEntries()) *
+             sizeof(std::pair<IndId, std::set<IndId>>);
+}
+
 Result<RoleId> KnowledgeBase::DefineRole(std::string_view name,
                                          bool attribute) {
-  return vocab_.DefineRole(name, attribute);
+  return vocab_->DefineRole(name, attribute);
 }
 
 Result<ConceptId> KnowledgeBase::DefineConcept(std::string_view name,
@@ -323,14 +346,14 @@ Result<ConceptId> KnowledgeBase::DefineConcept(std::string_view name,
     return Status::InvalidArgument(
         StrCat(name, " is a reserved built-in name"));
   }
-  Symbol sym = vocab_.symbols().Intern(name);
-  if (vocab_.HasConcept(sym)) {
+  Symbol sym = vocab_->symbols().Intern(name);
+  if (vocab_->HasConcept(sym)) {
     return Status::AlreadyExists(StrCat("concept ", name, " already defined"));
   }
   CLASSIC_ASSIGN_OR_RETURN(NormalFormPtr nf,
-                           normalizer_.NormalizeConcept(definition));
+                           normalizer_->NormalizeConcept(definition));
   CLASSIC_ASSIGN_OR_RETURN(ConceptId cid,
-                           vocab_.DefineConcept(sym, definition, nf));
+                           vocab_->DefineConcept(sym, definition, nf));
   CLASSIC_ASSIGN_OR_RETURN(NodeId node, taxonomy_.Insert(cid));
 
   // A new named concept may recognize existing individuals. Any instance
@@ -347,7 +370,7 @@ Result<ConceptId> KnowledgeBase::DefineConcept(std::string_view name,
   }
   const auto& parents = taxonomy_.Parents(node);
   if (parents.empty()) {
-    for (IndId i = 0; i < vocab_.num_individuals(); ++i) seeds.push_back(i);
+    for (IndId i = 0; i < vocab_->num_individuals(); ++i) seeds.push_back(i);
   } else {
     NodeId smallest = *parents.begin();
     for (NodeId p : parents) {
@@ -380,29 +403,29 @@ Result<ConceptId> KnowledgeBase::DefineConcept(std::string_view name,
 
 Result<size_t> KnowledgeBase::AssertRule(std::string_view antecedent_name,
                                          DescPtr consequent) {
-  Symbol sym = vocab_.symbols().Lookup(antecedent_name);
+  Symbol sym = vocab_->symbols().Lookup(antecedent_name);
   if (sym == kNoSymbol) {
     return Status::NotFound(
         StrCat("unknown antecedent concept: ", antecedent_name));
   }
-  CLASSIC_ASSIGN_OR_RETURN(ConceptId cid, vocab_.FindConcept(sym));
+  CLASSIC_ASSIGN_OR_RETURN(ConceptId cid, vocab_->FindConcept(sym));
   CLASSIC_ASSIGN_OR_RETURN(NodeId node, taxonomy_.NodeOf(cid));
   CLASSIC_ASSIGN_OR_RETURN(NormalFormPtr nf,
-                           normalizer_.NormalizeConcept(consequent));
+                           normalizer_->NormalizeConcept(consequent));
   if (nf->incoherent()) {
     return Status::InvalidArgument(
         "rule consequent is incoherent; the rule could never fire safely");
   }
   size_t idx = rules_.size();
   rules_.push_back({node, cid, consequent, nf});
-  rules_on_node_[node].push_back(idx);
+  rules_on_node_.Mutable(node).push_back(idx);
 
   // Fire immediately for current instances (complete propagation).
   std::vector<IndId> seeds(Instances(node).begin(), Instances(node).end());
   if (!seeds.empty()) {
     Status st = Propagate(seeds);
     if (!st.ok()) {
-      rules_on_node_[node].pop_back();
+      rules_on_node_.Mutable(node).pop_back();
       rules_.pop_back();
       return st.WithContext("rule rejected: firing it contradicts the DB");
     }
@@ -411,13 +434,13 @@ Result<size_t> KnowledgeBase::AssertRule(std::string_view antecedent_name,
 }
 
 std::vector<size_t> KnowledgeBase::RulesOnNode(NodeId node) const {
-  auto it = rules_on_node_.find(node);
-  if (it == rules_on_node_.end()) return {};
-  return it->second;
+  const std::vector<size_t>* on_node = rules_on_node_.Find(node);
+  if (on_node == nullptr) return {};
+  return *on_node;
 }
 
 Result<IndId> KnowledgeBase::CreateIndividual(std::string_view name) {
-  CLASSIC_ASSIGN_OR_RETURN(IndId ind, vocab_.CreateIndividual(name));
+  CLASSIC_ASSIGN_OR_RETURN(IndId ind, vocab_->CreateIndividual(name));
   StateRef(ind);  // materialize with intrinsic knowledge
   // Even a fresh individual may be recognized (e.g. by concepts with no
   // requirements beyond CLASSIC-THING).
@@ -434,12 +457,12 @@ Result<IndId> KnowledgeBase::CreateIndividual(std::string_view name,
 }
 
 Status KnowledgeBase::AssertInd(IndId ind, DescPtr expr) {
-  if (ind >= vocab_.num_individuals()) {
+  if (ind >= vocab_->num_individuals()) {
     return Status::NotFound(StrCat("no such individual id: ", ind));
   }
   if (!IsClassicIndividual(ind)) {
     return Status::InvalidArgument(
-        StrCat("host individual ", vocab_.IndividualName(ind),
+        StrCat("host individual ", vocab_->IndividualName(ind),
                " cannot be described (host individuals have no roles)"));
   }
   PropagationEngine engine(this);
@@ -448,8 +471,8 @@ Status KnowledgeBase::AssertInd(IndId ind, DescPtr expr) {
     engine.Rollback();
     return st;
   }
-  StateRef(ind).asserted.push_back(expr);
-  base_log_.emplace_back(ind, std::move(expr));
+  MutableState(ind).asserted.push_back(expr);
+  base_log_.push_back({ind, std::move(expr)});
   return Status::OK();
 }
 
@@ -482,16 +505,16 @@ Status KnowledgeBase::ApplyIndividualExpr(PropagationEngine* engine, IndId ind,
   std::vector<Symbol> close_roles;
   SplitClose(expr, &rest, &close_roles);
 
-  const IndId inds_before = static_cast<IndId>(vocab_.num_individuals());
+  const IndId inds_before = static_cast<IndId>(vocab_->num_individuals());
 
   if (!rest.empty()) {
     DescPtr descriptive =
         rest.size() == 1 ? rest[0] : Description::And(rest);
     CLASSIC_ASSIGN_OR_RETURN(
-        NormalFormPtr nf, normalizer_.NormalizeIndividualExpr(descriptive));
+        NormalFormPtr nf, normalizer_->NormalizeIndividualExpr(descriptive));
     // Normalization may have interned fresh host values; classify them so
     // the instance indexes stay complete.
-    for (IndId i = inds_before; i < vocab_.num_individuals(); ++i) {
+    for (IndId i = inds_before; i < vocab_->num_individuals(); ++i) {
       engine->Enqueue(i);
     }
     if (nf->incoherent()) {
@@ -508,12 +531,12 @@ Status KnowledgeBase::ApplyIndividualExpr(PropagationEngine* engine, IndId ind,
   }
 
   for (Symbol role_name : close_roles) {
-    CLASSIC_ASSIGN_OR_RETURN(RoleId role, vocab_.FindRole(role_name));
+    CLASSIC_ASSIGN_OR_RETURN(RoleId role, vocab_->FindRole(role_name));
     NormalForm close_nf;
-    RoleRestriction* rr = close_nf.MutableRole(role, vocab_);
+    RoleRestriction* rr = close_nf.MutableRole(role, *vocab_);
     rr->closed = true;
     rr->fillers = StateRef(ind).derived->role(role).fillers;
-    close_nf.Tighten(vocab_);
+    close_nf.Tighten(*vocab_);
     CLASSIC_RETURN_NOT_OK(engine->MergeInto(ind, close_nf));
     CLASSIC_RETURN_NOT_OK(engine->Run());
   }
@@ -524,25 +547,29 @@ Status KnowledgeBase::RetractInd(IndId ind, const DescPtr& expr) {
   if (ind >= states_.size() || !IsClassicIndividual(ind)) {
     return Status::NotFound("no assertions recorded for this individual");
   }
-  IndividualState& st = states_[ind];
-  const std::string needle = expr->ToString(vocab_.symbols());
+  IndividualState& st = MutableState(ind);
+  const std::string needle = expr->ToString(vocab_->symbols());
   auto it = std::find_if(st.asserted.begin(), st.asserted.end(),
                          [&](const DescPtr& d) {
-                           return d->ToString(vocab_.symbols()) == needle;
+                           return d->ToString(vocab_->symbols()) == needle;
                          });
   if (it == st.asserted.end()) {
     return Status::NotFound(
-        StrCat("expression was not asserted of ", vocab_.IndividualName(ind),
+        StrCat("expression was not asserted of ", vocab_->IndividualName(ind),
                ": ", needle));
   }
   st.asserted.erase(it);
-  auto lit = std::find_if(base_log_.begin(), base_log_.end(),
-                          [&](const auto& entry) {
-                            return entry.first == ind &&
-                                   entry.second->ToString(vocab_.symbols()) ==
-                                       needle;
-                          });
-  if (lit != base_log_.end()) base_log_.erase(lit);
+  // Erase the FIRST matching log entry only: re-asserting the same
+  // expression twice yields two entries, and retraction removes one
+  // (multiset semantics).
+  for (size_t i = 0; i < base_log_.size(); ++i) {
+    const auto& entry = base_log_[i];
+    if (entry.first == ind &&
+        entry.second->ToString(vocab_->symbols()) == needle) {
+      base_log_.EraseAt(i);
+      break;
+    }
+  }
   return RederiveAll();
 }
 
@@ -551,13 +578,14 @@ Status KnowledgeBase::RederiveAll() {
   // in its original global order (the interleaving matters for CLOSE,
   // whose meaning is "the fillers known at that moment").
   for (size_t i = 0; i < states_.size(); ++i) {
-    std::vector<DescPtr> asserted = std::move(states_[i].asserted);
-    states_[i] = IndividualState{};
-    states_[i].asserted = std::move(asserted);
-    states_[i].derived = IntrinsicForm(static_cast<IndId>(i));
+    IndividualState& st = states_.Mutable(i);
+    std::vector<DescPtr> asserted = std::move(st.asserted);
+    st = IndividualState{};
+    st.asserted = std::move(asserted);
+    st.derived = IntrinsicForm(static_cast<IndId>(i));
   }
-  instances_.clear();
-  referenced_by_.clear();
+  instances_.Clear();
+  referenced_by_.Clear();
 
   PropagationEngine engine(this);
   // Individuals with no assertions still need realization.
@@ -567,9 +595,12 @@ Status KnowledgeBase::RederiveAll() {
     }
   }
   Status st = engine.Run();
-  for (const auto& [ind, expr] : base_log_) {
+  for (size_t i = 0; i < base_log_.size(); ++i) {
     if (!st.ok()) break;
-    st = ApplyIndividualExpr(&engine, ind, expr);
+    // Copy the entry: replay re-enters propagation, which may path-copy
+    // the chunk under a reference into it.
+    const auto entry = base_log_[i];
+    st = ApplyIndividualExpr(&engine, entry.first, entry.second);
   }
   if (!st.ok()) {
     return Status::Internal(
@@ -583,19 +614,19 @@ const IndividualState& KnowledgeBase::state(IndId ind) const {
 }
 
 bool KnowledgeBase::IsClassicIndividual(IndId ind) const {
-  return vocab_.individual(ind).kind == IndKind::kClassic;
+  return vocab_->individual(ind).kind == IndKind::kClassic;
 }
 
 const std::set<IndId>& KnowledgeBase::Instances(NodeId node) const {
-  auto it = instances_.find(node);
-  if (it == instances_.end()) return EmptyIndSet();
-  return it->second;
+  const std::set<IndId>* inds = instances_.Find(node);
+  if (inds == nullptr) return EmptyIndSet();
+  return *inds;
 }
 
 const std::set<IndId>& KnowledgeBase::Referencers(IndId ind) const {
-  auto it = referenced_by_.find(ind);
-  if (it == referenced_by_.end()) return EmptyIndSet();
-  return it->second;
+  const std::set<IndId>* refs = referenced_by_.Find(ind);
+  if (refs == nullptr) return EmptyIndSet();
+  return *refs;
 }
 
 std::vector<IndId> KnowledgeBase::AllClassicIndividuals() const {
@@ -609,17 +640,33 @@ std::vector<IndId> KnowledgeBase::AllClassicIndividuals() const {
 
 NormalFormPtr KnowledgeBase::IntrinsicForm(IndId ind) const {
   NormalForm nf;
-  for (AtomId a : vocab_.IntrinsicAtoms(ind)) nf.AddAtom(a, vocab_);
+  for (AtomId a : vocab_->IntrinsicAtoms(ind)) nf.AddAtom(a, *vocab_);
   // Freeze through the normalizer so intrinsic states share the store's
   // canonical objects (pointer fast paths, valid memo ids).
-  return normalizer_.Freeze(std::move(nf));
+  return normalizer_->Freeze(std::move(nf));
 }
 
-IndividualState& KnowledgeBase::StateRef(IndId ind) const {
-  // Fast path: already materialized and published. Storage is stable, so
-  // the reference stays valid while other threads extend the vector.
+const IndividualState& KnowledgeBase::StateRef(IndId ind) const {
+  // Fast path: already materialized into the chunked store before this
+  // epoch froze (or, on the master, at any earlier point — the master is
+  // single-writer, so its size only moves under external sync).
   if (ind < states_.size()) return states_[ind];
   std::lock_guard<std::mutex> lock(states_mutex_);
+  if (frozen_) {
+    // Frozen epochs never write the shared chunks (they may be chunk-
+    // shared with other epochs and with the live master). Individuals
+    // interned after the freeze — host values materialized by query
+    // normalization — get their intrinsic state in a snapshot-local side
+    // table with stable addresses, guarded by states_mutex_.
+    const size_t base = frozen_states_size_;
+    while (base + state_overlay_.size() <= ind) {
+      IndId id = static_cast<IndId>(base + state_overlay_.size());
+      IndividualState st;
+      st.derived = IntrinsicForm(id);
+      state_overlay_.push_back(std::move(st));
+    }
+    return state_overlay_[ind - base];
+  }
   while (states_.size() <= ind) {
     IndId id = static_cast<IndId>(states_.size());
     IndividualState st;
@@ -627,6 +674,14 @@ IndividualState& KnowledgeBase::StateRef(IndId ind) const {
     states_.push_back(std::move(st));
   }
   return states_[ind];
+}
+
+IndividualState& KnowledgeBase::MutableState(IndId ind) {
+  StateRef(ind);  // materialize first
+  if (frozen_ && ind >= frozen_states_size_) {
+    return state_overlay_[ind - frozen_states_size_];
+  }
+  return states_.Mutable(ind);
 }
 
 std::optional<IndId> KnowledgeBase::ResolvePath(IndId start,
@@ -675,11 +730,11 @@ bool KnowledgeBase::SatisfiesImpl(
 
   for (Symbol test : nf.tests()) {
     if (derived.tests().count(test) > 0) continue;
-    auto fn = vocab_.FindTest(test);
+    auto fn = vocab_->FindTest(test);
     if (!fn.ok()) return false;
     TestArg arg;
     arg.ind = ind;
-    const IndInfo& info = vocab_.individual(ind);
+    const IndInfo& info = vocab_->individual(ind);
     arg.host = info.host ? &*info.host : nullptr;
     if (!(**fn)(arg)) return false;
   }
@@ -689,7 +744,7 @@ bool KnowledgeBase::SatisfiesImpl(
     // Attributes are single-valued by declaration even when the derived
     // record is absent or unclamped.
     uint32_t ri_at_most = ri.at_most;
-    if (vocab_.role(role).attribute) {
+    if (vocab_->role(role).attribute) {
       ri_at_most = std::min<uint32_t>(ri_at_most, 1);
     }
     if (ri.at_least < rc.at_least) return false;

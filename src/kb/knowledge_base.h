@@ -43,6 +43,7 @@
 #include "desc/parser.h"
 #include "desc/vocabulary.h"
 #include "taxonomy/taxonomy.h"
+#include "util/cow.h"
 #include "util/stable_vector.h"
 #include "util/status.h"
 
@@ -117,20 +118,24 @@ class KnowledgeBase {
  public:
   KnowledgeBase();
 
-  /// \brief Deep copy for epoch publishing: an independent KnowledgeBase
+  /// \brief Copy-on-write copy for epoch publishing: a KnowledgeBase
   /// whose meaning, ids (Symbols, IndIds, NfIds, NodeIds) and memo
-  /// contents coincide with this one. Immutable substructures (interned
-  /// normal forms, descriptions) are shared. The source must not be
-  /// concurrently mutated during the call.
+  /// contents coincide with this one, built in O(delta) — the copy
+  /// *shares* the vocabulary, normalizer, subsumption memo and the
+  /// chunked stores (states, base log, taxonomy arrays) with the source;
+  /// the instance/reference indexes share frozen delta layers. The single
+  /// writer path-copies whatever it touches next, so the copy never
+  /// changes after the call. The source must not be concurrently mutated
+  /// during the call (single-writer discipline).
   std::unique_ptr<KnowledgeBase> Clone() const;
 
-  Vocabulary& vocab() { return vocab_; }
-  const Vocabulary& vocab() const { return vocab_; }
+  Vocabulary& vocab() { return *vocab_; }
+  const Vocabulary& vocab() const { return *vocab_; }
   Taxonomy& taxonomy() { return taxonomy_; }
   const Taxonomy& taxonomy() const { return taxonomy_; }
   /// The normalizer's only mutable state is its hash-consing store, a
   /// cache; normalizing a query never changes database meaning.
-  Normalizer& normalizer() const { return normalizer_; }
+  Normalizer& normalizer() const { return *normalizer_; }
   const KbStats& stats() const { return stats_; }
 
   // --- Schema operations (DDL) -------------------------------------------
@@ -198,14 +203,27 @@ class KnowledgeBase {
   IndId num_visible_individuals() const {
     return visible_ind_limit_ != kNoId
                ? visible_ind_limit_
-               : static_cast<IndId>(vocab_.num_individuals());
+               : static_cast<IndId>(vocab_->num_individuals());
   }
 
   /// \brief Freezes the visible-individual bound at the current count
   /// (called by the epoch layer on a fresh clone, before publishing it).
+  /// A frozen KB also stops extending its shared state store: lazy state
+  /// materialization (host literals interned by queries) goes to a
+  /// snapshot-local overlay, so the chunks shared with the master and
+  /// with other epochs are never written again.
   void FreezeVisibleIndividuals() {
-    visible_ind_limit_ = static_cast<IndId>(vocab_.num_individuals());
+    visible_ind_limit_ = static_cast<IndId>(vocab_->num_individuals());
+    frozen_ = true;
+    frozen_states_size_ = states_.size();
   }
+
+  /// \brief Publish instrumentation: chunk/value copies performed by the
+  /// writer's copy-on-write stores since the last call (the physical
+  /// write delta this epoch), and the approximate bytes of chunk storage
+  /// a fresh Clone() shares instead of copying.
+  size_t TakeCowCopyCount();
+  size_t ApproxSharedCowBytes() const;
 
   /// \brief Individuals that mention `ind` as a role filler (the reverse
   /// filler index; used for cascade reclassification and reverse joins).
@@ -227,8 +245,7 @@ class KnowledgeBase {
  private:
   friend class PropagationEngine;
 
-  /// Clone() plumbing (rebinds the vocab pointers inside the normalizer
-  /// and taxonomy to the copied vocabulary).
+  /// Clone() plumbing: the structure-sharing copy behind epoch publishes.
   KnowledgeBase(const KnowledgeBase& other);
 
   /// Recursive instance test with a cycle guard (individual graphs may be
@@ -257,31 +274,50 @@ class KnowledgeBase {
   NormalFormPtr IntrinsicForm(IndId ind) const;
 
   /// Returns the state record for `ind`, materializing records lazily
-  /// (normalization may intern new host individuals at any time).
-  IndividualState& StateRef(IndId ind) const;
+  /// (normalization may intern new host individuals at any time). On a
+  /// frozen snapshot, materialization lands in the snapshot-local overlay
+  /// so the chunked store shared with other epochs stays untouched;
+  /// reads of existing records are lock-free either way.
+  const IndividualState& StateRef(IndId ind) const;
 
-  Vocabulary vocab_;
-  mutable Normalizer normalizer_;
+  /// Writer-only mutable access to a state record (path-copies a shared
+  /// chunk on first touch per epoch). Never called on a frozen snapshot.
+  IndividualState& MutableState(IndId ind);
+
+  /// One shared Vocabulary/Normalizer serves the master and every
+  /// published epoch — that is what keeps ids consistent across epochs
+  /// with zero copying. Both are safe for one writer + many readers.
+  std::shared_ptr<Vocabulary> vocab_;
+  std::shared_ptr<Normalizer> normalizer_;
   Taxonomy taxonomy_;
 
-  /// Indexed by IndId; lazily extended, hence mutable. Stable storage
-  /// with a materialization mutex: reader threads may extend it (a query
-  /// literal interns a host individual whose state record materializes on
-  /// first touch) while others hold references to existing records.
-  mutable StableVector<IndividualState> states_;
+  /// Indexed by IndId. Chunked copy-on-write store shared across epochs;
+  /// the writer mutates through MutableState (path-copying), snapshots
+  /// only read. Mutable because the master lazily materializes records
+  /// from logically-const paths.
+  mutable CowVector<IndividualState> states_;
+  /// Snapshot-local overlay for records materialized after the freeze
+  /// (host literals interned while serving queries). Indexed by
+  /// ind - frozen_states_size_; append-only with stable addresses.
+  mutable StableVector<IndividualState> state_overlay_;
   mutable std::mutex states_mutex_;
+  /// True on published snapshots (set by FreezeVisibleIndividuals).
+  bool frozen_ = false;
+  size_t frozen_states_size_ = 0;
 
   /// kNoId on the live/master database; set on published snapshots.
   IndId visible_ind_limit_ = kNoId;
   /// All accepted assertions in global order (replay preserves the
   /// interleaving across individuals, which matters for CLOSE).
-  std::vector<std::pair<IndId, DescPtr>> base_log_;
-  std::map<NodeId, std::set<IndId>> instances_;
-  std::map<NodeId, std::vector<size_t>> rules_on_node_;
+  CowVector<std::pair<IndId, DescPtr>> base_log_;
+  /// Layered delta maps: frozen layers shared across epochs, one mutable
+  /// overlay on the writer. Mutable so Clone() can freeze the overlay.
+  mutable CowMap<NodeId, std::set<IndId>> instances_;
+  mutable CowMap<NodeId, std::vector<size_t>> rules_on_node_;
   std::vector<Rule> rules_;
   /// Reverse filler index: who mentions ind as a filler (cascade
   /// reclassification).
-  std::map<IndId, std::set<IndId>> referenced_by_;
+  mutable CowMap<IndId, std::set<IndId>> referenced_by_;
 
   mutable KbStats stats_;
 };

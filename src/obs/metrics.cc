@@ -20,6 +20,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "queries-served",
     "epoch-publishes",
     "snapshot-acquisitions",
+    "publish-chunks-copied",
+    "publish-bytes-shared",
 };
 
 constexpr const char* kOpNames[kNumOps] = {

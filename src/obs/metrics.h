@@ -81,6 +81,13 @@ enum class Counter : uint32_t {
   kEpochPublishes,
   /// Snapshot acquisitions (KbEngine::snapshot()).
   kSnapshotAcquisitions,
+  /// COW chunks/values path-copied to assemble the published epoch's
+  /// delta (drained from the master at each Publish) — the O(delta)
+  /// publication cost in units of copies.
+  kPublishChunksCopied,
+  /// Approximate bytes of chunk storage the published epoch shares with
+  /// the master instead of deep-copying.
+  kPublishBytesShared,
   kCount
 };
 

@@ -144,7 +144,7 @@ Result<ProgramStats> ReplayProgramWithStats(const std::string& path) {
     report.phases.push_back(std::move(phase));
   }
 
-  // --- publish: adopt a clone of the loaded base as epoch 1.
+  // --- publish: fork the loaded base copy-on-write as epoch 1.
   KbEngine engine(KbEngine::Options{.num_threads = 1});
   {
     PhaseStats phase;
@@ -152,7 +152,7 @@ Result<ProgramStats> ReplayProgramWithStats(const std::string& path) {
     phase.ops = 1;
     CounterDeltaScope window;
     const uint64_t start = MonotonicNanos();
-    engine.Reset(db.kb().Clone());
+    engine.ResetFrom(db.kb());
     phase.wall_nanos = MonotonicNanos() - start;
     phase.counters = window.Deltas();
     report.phases.push_back(std::move(phase));

@@ -18,14 +18,14 @@ namespace {
 /// tightened) — they are "told" subsumers and need no structural test.
 /// PRIMITIVE/DISJOINT-PRIMITIVE wrap a base description the same way.
 void CollectToldSubsumers(const Description& d, const Vocabulary& vocab,
-                          const std::map<ConceptId, NodeId>& node_of_concept,
+                          const CowMap<ConceptId, NodeId>& node_of_concept,
                           std::vector<NodeId>* out) {
   switch (d.kind()) {
     case DescKind::kConceptName: {
       Result<ConceptId> cid = vocab.FindConcept(d.name());
       if (!cid.ok()) return;
-      auto it = node_of_concept.find(*cid);
-      if (it != node_of_concept.end()) out->push_back(it->second);
+      const NodeId* node = node_of_concept.Find(*cid);
+      if (node != nullptr) out->push_back(*node);
       return;
     }
     case DescKind::kAnd:
@@ -73,13 +73,13 @@ Classification Taxonomy::ClassifyInternal(
     const NfId sid = specific.interned_id();
     if (gid != kNoNfId && gid == sid) return true;
     if (gid != kNoNfId && sid != kNoNfId) {
-      if (std::optional<bool> cached = subsume_index_.Lookup(gid, sid)) {
+      if (std::optional<bool> cached = subsume_index_->Lookup(gid, sid)) {
         CLASSIC_OBS_COUNT(kSubsumptionMemoHits);
         return *cached;
       }
     }
     ++tests;
-    return Subsumes(general, specific, &subsume_index_);
+    return Subsumes(general, specific, subsume_index_.get());
   };
   auto node_subsumes_target = [&](NodeId node) {
     auto [it, inserted] = up.try_emplace(node, false);
@@ -202,7 +202,7 @@ Result<NodeId> Taxonomy::Insert(ConceptId cid) {
   if (info.normal_form == nullptr) {
     return Status::Internal("concept registered without a normal form");
   }
-  if (node_of_concept_.count(cid) > 0) {
+  if (node_of_concept_.Find(cid) != nullptr) {
     return Status::AlreadyExists(
         StrCat("concept already classified: ",
                vocab_->symbols().Name(info.name)));
@@ -217,14 +217,14 @@ Result<NodeId> Taxonomy::Insert(ConceptId cid) {
 
   if (cls.equivalent) {
     NodeId node = *cls.equivalent;
-    nodes_[node].synonyms.push_back(cid);
-    node_of_concept_.emplace(cid, node);
+    nodes_.Mutable(node).synonyms.push_back(cid);
+    node_of_concept_.Mutable(cid) = node;
     return node;
   }
 
   NodeId node = static_cast<NodeId>(nodes_.size());
   nodes_.push_back({{cid}, info.normal_form, {}, {}});
-  node_of_concept_.emplace(cid, node);
+  node_of_concept_.Mutable(cid) = node;
 
   // Ancestor index: the new node's ancestors are its parents plus theirs
   // (a couple of word-parallel unions); every (transitive) descendant
@@ -242,7 +242,7 @@ Result<NodeId> Taxonomy::Insert(ConceptId cid) {
     while (!queue.empty()) {
       NodeId d = queue.front();
       queue.pop_front();
-      ancestor_sets_[d].Set(node);
+      ancestor_sets_.Mutable(d).Set(node);
       for (NodeId c : nodes_[d].children) {
         if (seen.insert(c).second) queue.push_back(c);
       }
@@ -253,17 +253,17 @@ Result<NodeId> Taxonomy::Insert(ConceptId cid) {
   // new node makes transitive.
   for (NodeId p : cls.parents) {
     for (NodeId c : cls.children) {
-      nodes_[p].children.erase(c);
-      nodes_[c].parents.erase(p);
+      nodes_.Mutable(p).children.erase(c);
+      nodes_.Mutable(c).parents.erase(p);
     }
   }
   for (NodeId p : cls.parents) {
-    nodes_[p].children.insert(node);
-    nodes_[node].parents.insert(p);
+    nodes_.Mutable(p).children.insert(node);
+    nodes_.Mutable(node).parents.insert(p);
   }
   for (NodeId c : cls.children) {
-    nodes_[c].parents.insert(node);
-    nodes_[node].children.insert(c);
+    nodes_.Mutable(c).parents.insert(node);
+    nodes_.Mutable(node).children.insert(c);
     // The child may have been a root (no named parents); it no longer is.
     roots_.erase(c);
   }
@@ -272,13 +272,13 @@ Result<NodeId> Taxonomy::Insert(ConceptId cid) {
 }
 
 Result<NodeId> Taxonomy::NodeOf(ConceptId cid) const {
-  auto it = node_of_concept_.find(cid);
-  if (it == node_of_concept_.end()) {
+  const NodeId* node = node_of_concept_.Find(cid);
+  if (node == nullptr) {
     return Status::NotFound(
         StrCat("concept not in taxonomy: ",
                vocab_->symbols().Name(vocab_->concept_info(cid).name)));
   }
-  return it->second;
+  return *node;
 }
 
 std::vector<NodeId> Taxonomy::Ancestors(NodeId node) const {

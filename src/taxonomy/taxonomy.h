@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "desc/vocabulary.h"
 #include "subsume/subsume_index.h"
 #include "util/bitset.h"
+#include "util/cow.h"
 #include "util/status.h"
 
 namespace classic {
@@ -62,16 +64,22 @@ struct Classification {
 /// \brief The IS-A DAG over named concepts.
 class Taxonomy {
  public:
-  explicit Taxonomy(const Vocabulary* vocab) : vocab_(vocab) {}
+  explicit Taxonomy(const Vocabulary* vocab)
+      : vocab_(vocab),
+        subsume_index_(std::make_shared<SubsumptionIndex>()) {}
 
-  /// \brief Deep copy bound to a (cloned) vocabulary — KB snapshot
-  /// support. Node forms are immutable and shared; the subsumption memo
-  /// is copied so reader threads on the snapshot warm their own table.
+  /// \brief Copy-on-write copy bound to `vocab` — the epoch publish path.
+  /// The node/edge arrays and the ancestor index share chunk storage with
+  /// the source (the writer path-copies touched chunks on its next
+  /// insert); the concept directory shares frozen layers; the subsumption
+  /// memo is the SAME lock-free index (interned NfIds live in the shared
+  /// normal-form store, so verdicts are valid on every copy and all
+  /// epochs warm one table). O(delta), not O(schema).
   Taxonomy(const Taxonomy& other, const Vocabulary* vocab)
       : vocab_(vocab),
         nodes_(other.nodes_),
         ancestor_sets_(other.ancestor_sets_),
-        node_of_concept_(other.node_of_concept_),
+        node_of_concept_(other.node_of_concept_.Fork()),
         roots_(other.roots_),
         subsume_index_(other.subsume_index_),
         total_insert_tests_(other.total_insert_tests_) {}
@@ -130,10 +138,22 @@ class Taxonomy {
   /// \brief The shared subsumption memo. Grows monotonically; safe to
   /// consult from any code holding forms interned in this database's
   /// NormalFormStore (KB realization, query instance checks, ...).
-  SubsumptionIndex* subsumption_index() const { return &subsume_index_; }
+  SubsumptionIndex* subsumption_index() const { return subsume_index_.get(); }
 
   /// Total subsumption tests computed by all Insert calls (bench E2).
   size_t total_insert_tests() const { return total_insert_tests_; }
+
+  /// \brief Drains the COW copy counters (chunks path-copied + concept
+  /// directory values copied down) accumulated since the last call.
+  size_t TakeCowCopies() {
+    return nodes_.TakeChunkCopies() + ancestor_sets_.TakeChunkCopies() +
+           node_of_concept_.TakeValueCopies();
+  }
+
+  /// \brief Approximate bytes of chunk storage shareable with copies.
+  size_t ApproxSharedBytes() const {
+    return nodes_.ApproxChunkBytes() + ancestor_sets_.ApproxChunkBytes();
+  }
 
  private:
   struct Node {
@@ -147,15 +167,16 @@ class Taxonomy {
       const NormalForm& nf, const std::vector<NodeId>* told_subsumers) const;
 
   const Vocabulary* vocab_;
-  std::vector<Node> nodes_;
+  /// Node/edge arrays share chunks across epoch copies (COW).
+  CowVector<Node> nodes_;
   /// ancestor_sets_[n] = every strict ancestor of n; maintained on insert.
-  std::vector<DynamicBitset> ancestor_sets_;
-  std::map<ConceptId, NodeId> node_of_concept_;
+  CowVector<DynamicBitset> ancestor_sets_;
+  CowMap<ConceptId, NodeId> node_of_concept_;
   std::set<NodeId> roots_;
   /// Persistent (NfId, NfId) -> verdict memo; interned forms are
-  /// immutable, so entries never go stale. Mutable: Classify is logically
-  /// const but warms the cache.
-  mutable SubsumptionIndex subsume_index_;
+  /// immutable, so entries never go stale, and the index is internally
+  /// synchronized — shared by every epoch copy via shared_ptr.
+  std::shared_ptr<SubsumptionIndex> subsume_index_;
   size_t total_insert_tests_ = 0;
 };
 

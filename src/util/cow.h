@@ -1,0 +1,246 @@
+// Copy-on-write persistent containers for O(delta) epoch publication.
+//
+// StableVector (util/stable_vector.h) solves concurrent *growth*; these
+// containers solve cheap *copying*. Publishing an epoch used to deep-copy
+// the whole KnowledgeBase (BM_Publish ~3 ms at 1k individuals); with the
+// stores below, a publish shares structure with the previous epoch and
+// copies only bookkeeping proportional to the mutation set.
+//
+//  - CowVector<T>: a chunked vector (64-element chunks behind
+//    shared_ptr, the chunk directory itself behind a shared_ptr).
+//    Copying is two shared_ptr copies; the single writer path-copies a
+//    chunk (and, once per copy generation, the directory) the first time
+//    it mutates through shared structure. use_count() > 1 is the COW
+//    trigger: extra counts can only come from snapshot copies.
+//  - CowMap<K, V>: an LSM-ish layered map — a stack of immutable frozen
+//    layers plus one mutable overlay. Lookups probe overlay then layers
+//    newest-to-oldest; Mutable() copies the value down into the overlay
+//    (value-level copy-on-write). Fork() freezes the overlay into a new
+//    shared layer, compacts the tail when the stack grows past a bound,
+//    and returns a copy sharing every layer. Fork cost is O(overlay)
+//    moved + amortized compaction, independent of total map size.
+//
+// Thread-safety contract (mirrors the KB's single-writer discipline):
+// a forked copy that is never mutated (a published snapshot) may be read
+// from any number of threads; all mutating calls — and Fork() itself —
+// must come from the one writer thread. Readers of old copies are never
+// affected by writer mutation: the writer replaces shared chunks/layers,
+// it never writes through them.
+
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace classic {
+
+template <typename T>
+class CowVector {
+ public:
+  static constexpr size_t kChunkShift = 6;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;  // 64
+
+  struct Chunk {
+    std::array<T, kChunkSize> slot{};
+  };
+
+  CowVector() = default;
+
+  /// O(1) structural-sharing copy (the publish path). The new copy reads
+  /// the same chunks; whichever side mutates next pays the path copy.
+  CowVector(const CowVector& other) : dir_(other.dir_), size_(other.size_) {}
+
+  CowVector& operator=(const CowVector& other) {
+    dir_ = other.dir_;
+    size_ = other.size_;
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return dir_->chunks[i >> kChunkShift]->slot[i & (kChunkSize - 1)];
+  }
+
+  /// Writer-only: mutable access, path-copying any shared chunk (and the
+  /// directory, once per copy generation) before exposing it.
+  T& Mutable(size_t i) {
+    assert(i < size_);
+    return OwnedChunk(i >> kChunkShift).slot[i & (kChunkSize - 1)];
+  }
+
+  /// Writer-only append.
+  void push_back(T value) {
+    EnsureOwnedDir();
+    const size_t c = size_ >> kChunkShift;
+    if (c == dir_->chunks.size()) dir_->chunks.emplace_back(nullptr);
+    OwnedChunk(c).slot[size_ & (kChunkSize - 1)] = std::move(value);
+    ++size_;
+  }
+
+  /// Writer-only ordered erase (shift-down). O(n - i) element copies —
+  /// used by the retraction path, which re-derives the database anyway.
+  void EraseAt(size_t i) {
+    assert(i < size_);
+    for (size_t j = i; j + 1 < size_; ++j) Mutable(j) = (*this)[j + 1];
+    Mutable(size_ - 1) = T{};
+    --size_;
+  }
+
+  // --- Publish instrumentation --------------------------------------------
+
+  /// Chunk copies performed by Mutable/push_back since the last call
+  /// (the physical size of the write delta, in chunks).
+  size_t TakeChunkCopies() { return std::exchange(chunk_copies_, 0); }
+
+  /// Bytes of chunk storage this copy shares with its siblings (all of
+  /// it, right after a copy): the publish "bytes not copied" figure.
+  size_t ApproxChunkBytes() const {
+    return dir_ ? dir_->chunks.size() * sizeof(Chunk) : 0;
+  }
+
+ private:
+  struct Dir {
+    std::vector<std::shared_ptr<Chunk>> chunks;
+  };
+
+  /// The writer may mutate the directory only when no snapshot shares it.
+  void EnsureOwnedDir() {
+    if (!dir_) {
+      dir_ = std::make_shared<Dir>();
+    } else if (dir_.use_count() > 1) {
+      dir_ = std::make_shared<Dir>(*dir_);
+    }
+  }
+
+  Chunk& OwnedChunk(size_t c) {
+    EnsureOwnedDir();
+    std::shared_ptr<Chunk>& p = dir_->chunks[c];
+    if (!p) {
+      p = std::make_shared<Chunk>();
+    } else if (p.use_count() > 1) {
+      p = std::make_shared<Chunk>(*p);
+      ++chunk_copies_;
+    }
+    return *p;
+  }
+
+  std::shared_ptr<Dir> dir_;
+  size_t size_ = 0;
+  size_t chunk_copies_ = 0;
+};
+
+template <typename K, typename V>
+class CowMap {
+ public:
+  using Layer = std::map<K, V>;
+  using LayerPtr = std::shared_ptr<const Layer>;
+
+  CowMap() = default;
+
+  /// Plain copies share frozen layers and deep-copy the (normally tiny)
+  /// overlay; prefer Fork() on the publish path, which freezes first.
+  CowMap(const CowMap&) = default;
+  CowMap& operator=(const CowMap&) = default;
+
+  /// Newest-wins point lookup across overlay + frozen layers.
+  const V* Find(const K& key) const {
+    auto it = overlay_.find(key);
+    if (it != overlay_.end()) return &it->second;
+    for (auto l = layers_.rbegin(); l != layers_.rend(); ++l) {
+      auto lit = (*l)->find(key);
+      if (lit != (*l)->end()) return &lit->second;
+    }
+    return nullptr;
+  }
+
+  /// Writer-only: mutable access, copying the value down into the overlay
+  /// on first touch since the last Fork (value-level copy-on-write;
+  /// default-constructs absent keys).
+  V& Mutable(const K& key) {
+    auto it = overlay_.find(key);
+    if (it != overlay_.end()) return it->second;
+    for (auto l = layers_.rbegin(); l != layers_.rend(); ++l) {
+      auto lit = (*l)->find(key);
+      if (lit != (*l)->end()) {
+        ++value_copies_;
+        return overlay_.emplace(key, lit->second).first->second;
+      }
+    }
+    return overlay_[key];
+  }
+
+  /// Writer-only: drops every entry (frozen layers are only unshared, so
+  /// snapshot readers are unaffected).
+  void Clear() {
+    layers_.clear();
+    overlay_.clear();
+  }
+
+  /// Freezes the overlay into a new immutable layer on this map, compacts
+  /// the layer stack if it grew past the bound, and returns a copy sharing
+  /// all layers. O(overlay size) plus amortized compaction. Const so the
+  /// publish path can fork through const accessors: freezing does not
+  /// change the mapping, only its physical layout (hence the mutable
+  /// members below).
+  CowMap Fork() const {
+    if (!overlay_.empty()) {
+      layers_.push_back(std::make_shared<const Layer>(std::move(overlay_)));
+      overlay_.clear();
+      Compact();
+    }
+    CowMap out;
+    out.layers_ = layers_;
+    return out;
+  }
+
+  size_t num_layers() const { return layers_.size() + (overlay_.empty() ? 0 : 1); }
+  size_t TakeValueCopies() { return std::exchange(value_copies_, 0); }
+
+  /// Approximate shared entry count (for the publish bytes-shared figure).
+  size_t ApproxFrozenEntries() const {
+    size_t n = 0;
+    for (const LayerPtr& l : layers_) n += l->size();
+    return n;
+  }
+
+ private:
+  /// Tiered compaction, writer-side: keep the probe depth bounded by
+  /// merging the delta tail (newest-wins) when it outgrows kMaxLayers;
+  /// fold into the base layer only when the merged tail rivals it, so the
+  /// per-publish cost stays proportional to recent deltas, amortized.
+  void Compact() const {
+    if (layers_.size() <= kMaxLayers) return;
+    Layer merged;
+    size_t tail_entries = 0;
+    for (size_t i = 1; i < layers_.size(); ++i) {
+      tail_entries += layers_[i]->size();
+      for (const auto& [k, v] : *layers_[i]) merged.insert_or_assign(k, v);
+    }
+    if (!layers_.empty() && tail_entries >= layers_[0]->size()) {
+      Layer full = *layers_[0];
+      for (auto& [k, v] : merged) full.insert_or_assign(k, std::move(v));
+      layers_.assign(1, std::make_shared<const Layer>(std::move(full)));
+    } else {
+      LayerPtr base = layers_.empty() ? nullptr : layers_[0];
+      layers_.clear();
+      if (base) layers_.push_back(std::move(base));
+      layers_.push_back(std::make_shared<const Layer>(std::move(merged)));
+    }
+  }
+
+  static constexpr size_t kMaxLayers = 8;
+
+  mutable std::vector<LayerPtr> layers_;  // oldest -> newest
+  mutable Layer overlay_;
+  size_t value_copies_ = 0;
+};
+
+}  // namespace classic
