@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the serving benchmark (closed- and open-loop load over the real
+# wire protocol against an in-process server) and writes the
+# BENCH_serving.json baseline tracked across PRs. Usage:
+#
+#   bench/run_serving_bench.sh [BUILD_DIR] [OUTPUT_JSON]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_serving.json}"
+
+LOADGEN="$BUILD_DIR/tools/serve_loadgen"
+if [[ ! -x "$LOADGEN" ]]; then
+  echo "error: $LOADGEN not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 1
+fi
+
+"$LOADGEN" --file=examples/university.classic \
+           --connections=4 --requests=8000 --open-seconds=4 \
+           --json > "$OUT"
+echo "wrote $OUT" >&2

@@ -3,10 +3,11 @@
 # (classic-lint over the shipped example programs, clang-tidy over src/
 # when installed), the observability gates (a -DCLASSIC_OBS=OFF build
 # proving the instrumentation compiles out cleanly, and classic_stats
-# --json validated against the golden schema), then a ThreadSanitizer
-# build that runs the three parallel suites (the differential harness,
-# the reader/writer stress harness, and the counter-determinism
-# harness). Usage:
+# --json validated against the golden schema), the serving gates (a
+# quick loadgen run checked against the BENCH_serving.json baseline, and
+# the server smoke under ASan), then a ThreadSanitizer build that runs
+# the parallel suites — including the serving reader-vs-writer race.
+# Usage:
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --tsan     # TSan stage only (reuses build-tsan/)
@@ -39,6 +40,17 @@ if [[ "$TSAN_ONLY" -eq 0 ]]; then
       --benchmark_format=json --benchmark_min_time=0.05 2> /dev/null |
     python3 scripts/check_publish_cost.py
 
+  echo "== serve: loadgen vs BENCH_serving.json baseline"
+  ./build/tools/serve_loadgen --file=examples/university.classic \
+      --requests=2000 --open-seconds=2 --json |
+    python3 scripts/check_serving_cost.py
+
+  echo "== serve: server smoke under ASan+UBSan"
+  cmake -B build-asan -S . -DCLASSIC_SANITIZE=ON > /dev/null
+  cmake --build build-asan -j"$JOBS" --target serve_test classic_serve
+  ./build-asan/tests/serve_test
+  ./build-asan/tools/classic_serve --self-check examples/university.classic
+
   echo "== obs: -DCLASSIC_OBS=OFF build (instrumentation compiles out)"
   cmake -B build-noobs -S . -DCLASSIC_OBS=OFF > /dev/null
   cmake --build build-noobs -j"$JOBS" --target \
@@ -59,7 +71,7 @@ echo "== tsan: configure + build parallel suites"
 cmake -B build-tsan -S . -DCLASSIC_TSAN=ON > /dev/null
 cmake --build build-tsan -j"$JOBS" --target \
   parallel_diff_test parallel_stress_test obs_parallel_test \
-  epoch_persistence_test
+  epoch_persistence_test serve_test
 
 echo "== tsan: parallel_diff_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_diff_test
@@ -69,5 +81,7 @@ echo "== tsan: obs_parallel_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_parallel_test
 echo "== tsan: epoch_persistence_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/epoch_persistence_test
+echo "== tsan: serve_test (reader clients vs publishing writer)"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
 
 echo "== all checks passed"

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Serving-cost regression guard.
+
+Reads a fresh serve_loadgen --json report on stdin and compares it
+against the committed BENCH_serving.json baseline. CI containers are
+noisy single-core machines, so the slack factors are wide: the guard
+exists to catch order-of-magnitude regressions (an accidental sleep in
+the request path, a lost batching path, per-request allocation blowups),
+not single-digit-percent drift.
+
+Checks:
+  - closed-loop p99 latency  <= baseline p99  * MAX_LATENCY_FACTOR
+  - open-loop   p50 latency  <= baseline p50  * MAX_LATENCY_FACTOR
+  - max sustainable rps      >= baseline rps  / MIN_THROUGHPUT_FACTOR
+  - zero transport-level errors in either loop
+
+Open-loop p99 is printed but NOT gated: with every sender, receiver and
+server thread time-sharing one CI core, the open-loop tail measures
+scheduler preemption (20x run-to-run swings observed), not the serving
+path. Its p50 is stable and still catches real request-path regressions.
+
+Usage:
+  ./build/tools/serve_loadgen --file=examples/university.classic --json |
+    python3 scripts/check_serving_cost.py [BASELINE_JSON]
+"""
+
+import json
+import sys
+
+# Measured run-to-run spread on the 1-core CI container: closed-loop p99
+# moves ~3x between runs (scheduler preemption dominates the tail), rps
+# ~1.3x. The factors sit well outside that envelope.
+MAX_LATENCY_FACTOR = 10.0
+MIN_THROUGHPUT_FACTOR = 5.0
+
+
+def main() -> int:
+    baseline_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_serving.json"
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    fresh = json.load(sys.stdin)
+
+    failures = []
+
+    def check_latency(loop: str, quantile: str, gated: bool = True) -> None:
+        base = baseline[loop]["latency_ns"][quantile]
+        now = fresh[loop]["latency_ns"][quantile]
+        limit = base * MAX_LATENCY_FACTOR
+        if not gated:
+            print(
+                f"check_serving_cost: {loop} {quantile} = {now:,} ns "
+                f"(baseline {base:,}) -> not gated"
+            )
+            return
+        verdict = "ok" if now <= limit else "REGRESSION"
+        print(
+            f"check_serving_cost: {loop} {quantile} = {now:,} ns "
+            f"(baseline {base:,}, limit {limit:,.0f}) -> {verdict}"
+        )
+        if now > limit:
+            failures.append(f"{loop} {quantile}")
+
+    check_latency("closed_loop", "p99")
+    check_latency("open_loop", "p50")
+    check_latency("open_loop", "p99", gated=False)
+
+    base_rps = baseline["max_sustainable_rps"]
+    now_rps = fresh["max_sustainable_rps"]
+    floor = base_rps / MIN_THROUGHPUT_FACTOR
+    verdict = "ok" if now_rps >= floor else "REGRESSION"
+    print(
+        f"check_serving_cost: max sustainable = {now_rps:,.0f} rps "
+        f"(baseline {base_rps:,.0f}, floor {floor:,.0f}) -> {verdict}"
+    )
+    if now_rps < floor:
+        failures.append("max sustainable rps")
+
+    for loop in ("closed_loop", "open_loop"):
+        errors = fresh[loop]["errors"]
+        if errors:
+            print(f"check_serving_cost: {loop} had {errors} errors -> FAIL")
+            failures.append(f"{loop} errors")
+
+    if failures:
+        print(
+            "check_serving_cost: FAILED (" + ", ".join(failures) + ")",
+            file=sys.stderr,
+        )
+        return 1
+    print("check_serving_cost: all serving metrics within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

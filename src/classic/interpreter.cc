@@ -41,38 +41,25 @@ std::string Rest(const sexpr::Value& op, size_t from) {
   return out;
 }
 
-/// Maps a read-only query form to the engine request it corresponds to,
-/// for as-of-epoch evaluation.
-Result<QueryRequest> AsOfRequest(const sexpr::Value& op) {
-  if (!op.IsList() || op.size() == 0 || !op.at(0).IsSymbol()) {
-    return Status::InvalidArgument(
-        StrCat("as-of needs a query form, got: ", op.ToString()));
+/// Renders a QueryAnswer the way the equivalent live interpreter op
+/// would: descriptions joined by newlines, path-query rows
+/// re-parenthesized, everything else as a name list.
+std::string FormatAnswer(QueryRequest::Kind kind,
+                         const std::vector<std::string>& values) {
+  if (kind == QueryRequest::Kind::kAskDescription ||
+      kind == QueryRequest::Kind::kDescribeIndividual) {
+    return Join(values, "\n");
   }
-  const std::string& head = op.at(0).text();
-  if (head == "ask") return QueryRequest::Ask(Rest(op, 1));
-  if (head == "ask-possible") return QueryRequest::AskPossible(Rest(op, 1));
-  if (head == "ask-description") {
-    return QueryRequest::AskDescription(Rest(op, 1));
+  if (kind == QueryRequest::Kind::kPathQuery) {
+    std::string out = "(";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += "(" + values[i] + ")";
+    }
+    out += ")";
+    return out;
   }
-  if (head == "instances") {
-    CLASSIC_ASSIGN_OR_RETURN(std::string name,
-                             SymbolArg(op, 1, "concept name"));
-    return QueryRequest::InstancesOf(std::move(name));
-  }
-  if (head == "msc") {
-    CLASSIC_ASSIGN_OR_RETURN(std::string name,
-                             SymbolArg(op, 1, "individual name"));
-    return QueryRequest::MostSpecificConcepts(std::move(name));
-  }
-  if (head == "describe") {
-    CLASSIC_ASSIGN_OR_RETURN(std::string name,
-                             SymbolArg(op, 1, "individual name"));
-    return QueryRequest::DescribeIndividual(std::move(name));
-  }
-  return Status::InvalidArgument(
-      StrCat("as-of cannot evaluate ", head,
-             " (read-only query forms only: ask, ask-possible, "
-             "ask-description, instances, msc, describe)"));
+  return FormatNames(values);
 }
 
 }  // namespace
@@ -439,14 +426,14 @@ Result<std::string> Interpreter::Execute(const sexpr::Value& op) {
   }
 
   if (head == "publish") {
-    SnapshotPtr snap = Engine().PublishFrom(db_->kb());
-    return StrCat("epoch ", snap->epoch());
+    CLASSIC_ASSIGN_OR_RETURN(uint64_t epoch, TheSession().Publish(db_->kb()));
+    return StrCat("epoch ", epoch);
   }
 
   if (head == "epochs") {
-    if (engine_ == nullptr) return std::string("()");
+    if (session_ == nullptr) return std::string("()");
     std::vector<std::string> names;
-    for (uint64_t e : engine_->RetainedEpochs()) {
+    for (uint64_t e : session_->RetainedEpochs()) {
       names.push_back(StrCat(e));
     }
     return FormatNames(names);
@@ -458,33 +445,30 @@ Result<std::string> Interpreter::Execute(const sexpr::Value& op) {
           StrCat("as-of needs an epoch number and a query form: ",
                  op.ToString()));
     }
-    if (engine_ == nullptr) {
+    if (session_ == nullptr) {
       return Status::NotFound("no epoch published yet; run (publish) first");
     }
-    const uint64_t epoch = static_cast<uint64_t>(op.at(1).integer());
-    CLASSIC_ASSIGN_OR_RETURN(QueryRequest req, AsOfRequest(op.at(2)));
-    SnapshotPtr snap = engine_->SnapshotAt(epoch);
-    if (snap == nullptr) {
-      return Status::NotFound(
-          StrCat("epoch ", epoch, " is not retained; see (epochs)"));
+    if (op.at(1).integer() <= 0) {
+      return Status::NotFound(StrCat("epoch ", op.at(1).integer(),
+                                     " is not retained; see (epochs)"));
     }
-    QueryAnswer ans = KbEngine::ServeQuery(snap->kb(), req);
+    CLASSIC_ASSIGN_OR_RETURN(QueryRequest req,
+                             Session::RequestFromForm(op.at(2)));
+    req.as_of_epoch = static_cast<uint64_t>(op.at(1).integer());
+    QueryAnswer ans = session_->Serve(req);
     CLASSIC_RETURN_NOT_OK(ans.status);
-    if (req.kind == QueryRequest::Kind::kAskDescription ||
-        req.kind == QueryRequest::Kind::kDescribeIndividual) {
-      return Join(ans.values, "\n");
-    }
-    return FormatNames(ans.values);
+    return FormatAnswer(req.kind, ans.values);
   }
 
   return Status::InvalidArgument(StrCat("unknown operation: ", head));
 }
 
-KbEngine& Interpreter::Engine() {
-  if (engine_ == nullptr) {
+Session& Interpreter::TheSession() {
+  if (session_ == nullptr) {
     engine_ = std::make_unique<KbEngine>(KbEngine::Options{.num_threads = 1});
+    session_ = std::make_unique<Session>(engine_.get());
   }
-  return *engine_;
+  return *session_;
 }
 
 Result<std::string> Interpreter::ExecuteString(const std::string& text) {

@@ -41,6 +41,7 @@
 
 #include "classic/database.h"
 #include "kb/kb_engine.h"
+#include "kb/session.h"
 #include "sexpr/sexpr.h"
 #include "util/status.h"
 
@@ -63,12 +64,16 @@ class Interpreter {
   Result<std::vector<std::string>> ExecuteProgram(const std::string& text);
 
  private:
-  /// Lazily created on the first (publish): the epoch-serving engine
-  /// behind (epochs) and (as-of ...).
-  KbEngine& Engine();
+  /// Lazily created on the first (publish): the epoch-serving engine and
+  /// the Session facade behind (epochs) and (as-of ...). The repl is a
+  /// thin client of the same Session API the network front-end
+  /// (src/serve) speaks, so epoch semantics cannot drift between the
+  /// two.
+  Session& TheSession();
 
   Database* db_;
   std::unique_ptr<KbEngine> engine_;
+  std::unique_ptr<Session> session_;
 };
 
 }  // namespace classic

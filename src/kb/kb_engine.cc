@@ -88,6 +88,97 @@ QueryRequest QueryRequest::InstancesOf(std::string concept_name) {
   return {Kind::kInstancesOf, std::move(concept_name)};
 }
 
+sexpr::Value QueryRequest::ToSexpr() const {
+  std::vector<sexpr::Value> items;
+  items.push_back(sexpr::Value::MakeSymbol("request"));
+  items.push_back(sexpr::Value::MakeSymbol(QueryKindName(kind)));
+  items.push_back(sexpr::Value::MakeString(text));
+  if (as_of_epoch != 0) {
+    items.push_back(
+        sexpr::Value::MakeInteger(static_cast<int64_t>(as_of_epoch)));
+  }
+  return sexpr::Value::MakeList(std::move(items));
+}
+
+std::string QueryRequest::ToWire() const { return ToSexpr().ToString(); }
+
+Result<QueryRequest> QueryRequest::FromSexpr(const sexpr::Value& v) {
+  if (!v.HasHead("request") || v.size() < 3 || v.size() > 4) {
+    return Status::InvalidArgument(
+        StrCat("not a request form: ", v.ToString()));
+  }
+  if (!v.at(1).IsSymbol()) {
+    return Status::InvalidArgument(
+        StrCat("request kind must be a symbol: ", v.ToString()));
+  }
+  std::optional<Kind> kind = QueryKindFromName(v.at(1).text());
+  if (!kind) {
+    return Status::InvalidArgument(
+        StrCat("unknown request kind: ", v.at(1).text()));
+  }
+  if (!v.at(2).IsString()) {
+    return Status::InvalidArgument(
+        StrCat("request text must be a string: ", v.ToString()));
+  }
+  QueryRequest out{*kind, v.at(2).text()};
+  if (v.size() == 4) {
+    if (!v.at(3).IsInteger() || v.at(3).integer() <= 0) {
+      return Status::InvalidArgument(
+          StrCat("request epoch must be a positive integer: ", v.ToString()));
+    }
+    out.as_of_epoch = static_cast<uint64_t>(v.at(3).integer());
+  }
+  return out;
+}
+
+Result<QueryRequest> QueryRequest::FromWire(const std::string& text) {
+  CLASSIC_ASSIGN_OR_RETURN(sexpr::Value v, sexpr::Parse(text));
+  return FromSexpr(v);
+}
+
+sexpr::Value QueryAnswer::ToSexpr() const {
+  std::vector<sexpr::Value> values_list;
+  values_list.reserve(values.size());
+  for (const std::string& v : values) {
+    values_list.push_back(sexpr::Value::MakeString(v));
+  }
+  std::vector<sexpr::Value> items;
+  items.push_back(sexpr::Value::MakeSymbol("answer"));
+  items.push_back(sexpr::Value::MakeSymbol(StatusCodeName(status.code())));
+  items.push_back(sexpr::Value::MakeString(status.message()));
+  items.push_back(sexpr::Value::MakeList(std::move(values_list)));
+  return sexpr::Value::MakeList(std::move(items));
+}
+
+std::string QueryAnswer::ToWire() const { return ToSexpr().ToString(); }
+
+Result<QueryAnswer> QueryAnswer::FromSexpr(const sexpr::Value& v) {
+  if (!v.HasHead("answer") || v.size() != 4 || !v.at(1).IsSymbol() ||
+      !v.at(2).IsString() || !v.at(3).IsList()) {
+    return Status::InvalidArgument(
+        StrCat("not an answer form: ", v.ToString()));
+  }
+  QueryAnswer out;
+  const StatusCode code = StatusCodeFromName(v.at(1).text());
+  if (code != StatusCode::kOk) {
+    out.status = Status(code, v.at(2).text());
+  }
+  out.values.reserve(v.at(3).size());
+  for (const sexpr::Value& item : v.at(3).items()) {
+    if (!item.IsString()) {
+      return Status::InvalidArgument(
+          StrCat("answer values must be strings: ", v.ToString()));
+    }
+    out.values.push_back(item.text());
+  }
+  return out;
+}
+
+Result<QueryAnswer> QueryAnswer::FromWire(const std::string& text) {
+  CLASSIC_ASSIGN_OR_RETURN(sexpr::Value v, sexpr::Parse(text));
+  return FromSexpr(v);
+}
+
 obs::Op ToObsOp(QueryRequest::Kind kind) {
   // The first seven Op values mirror Kind, in order (static_asserts keep
   // the two enums aligned).

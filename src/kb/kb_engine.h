@@ -36,6 +36,7 @@
 #include "kb/knowledge_base.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "sexpr/sexpr.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -91,6 +92,27 @@ struct QueryRequest {
   static QueryRequest DescribeIndividual(std::string individual);
   static QueryRequest MostSpecificConcepts(std::string individual);
   static QueryRequest InstancesOf(std::string concept_name);
+
+  // --- Canonical serialization ---------------------------------------------
+  //
+  // One request surface for in-process callers, the repl's epoch ops and
+  // the wire protocol (docs/PROTOCOL.md). The form is
+  //
+  //   (request <kind-symbol> "<text>")           current-epoch request
+  //   (request <kind-symbol> "<text>" <epoch>)   as-of request
+  //
+  // with <kind-symbol> the stable QueryKindName ("ask", "path-query",
+  // ...). FromSexpr(ToSexpr()) reproduces kind/text/as_of_epoch exactly.
+
+  sexpr::Value ToSexpr() const;
+  std::string ToWire() const;  ///< ToSexpr() rendered to concrete syntax.
+  static Result<QueryRequest> FromSexpr(const sexpr::Value& v);
+  static Result<QueryRequest> FromWire(const std::string& text);
+
+  bool operator==(const QueryRequest& other) const {
+    return kind == other.kind && text == other.text &&
+           as_of_epoch == other.as_of_epoch;
+  }
 };
 
 /// \brief Stable serialized name of a request kind ("ask", "path-query",
@@ -132,6 +154,22 @@ struct QueryAnswer {
   /// excluded — the differential harness compares these byte-for-byte
   /// between serial and parallel runs, and wall times differ.
   std::string Canonical() const;
+
+  // --- Canonical serialization ---------------------------------------------
+  //
+  // The wire form of an answer (docs/PROTOCOL.md):
+  //
+  //   (answer <code-symbol> "<message>" ("<value>" ...))
+  //
+  // with <code-symbol> the StatusCodeName ("OK", "NotFound", ...).
+  // `stats` is deliberately not serialized: it is per-process
+  // measurement, not part of the answer value (Canonical() excludes it
+  // for the same reason).
+
+  sexpr::Value ToSexpr() const;
+  std::string ToWire() const;
+  static Result<QueryAnswer> FromSexpr(const sexpr::Value& v);
+  static Result<QueryAnswer> FromWire(const std::string& text);
 };
 
 /// \brief The concurrent serving engine (single writer, many readers).

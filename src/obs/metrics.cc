@@ -22,6 +22,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "snapshot-acquisitions",
     "publish-chunks-copied",
     "publish-bytes-shared",
+    "serve-accepted",
+    "serve-shed",
 };
 
 constexpr const char* kOpNames[kNumOps] = {
@@ -34,6 +36,7 @@ constexpr const char* kOpNames[kNumOps] = {
     "instances-of",
     "mutate",
     "publish",
+    "serve-queue-wait",
 };
 
 /// The engine-wide totals every thread flushes into. Plain namespace

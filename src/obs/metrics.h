@@ -88,6 +88,14 @@ enum class Counter : uint32_t {
   /// Approximate bytes of chunk storage the published epoch shares with
   /// the master instead of deep-copying.
   kPublishBytesShared,
+  /// Wire requests admitted by the serving front-end's admission
+  /// controller (src/serve) — each admitted request is dispatched into a
+  /// snapshot-isolated QueryBatch.
+  kServeAccepted,
+  /// Wire requests shed on overload: the admission controller was at its
+  /// in-flight bound, so the server answered with a typed `overloaded`
+  /// error frame instead of queueing unboundedly.
+  kServeShed,
   kCount
 };
 
@@ -118,6 +126,9 @@ enum class Op : uint32_t {
   kInstancesOf,
   kMutate,
   kPublish,
+  /// Serving-front-end queue wait: decode of a request frame to the start
+  /// of its batch dispatch (src/serve admission + batching delay).
+  kServeQueueWait,
   kCount
 };
 

@@ -1,0 +1,27 @@
+#include "serve/admission.h"
+
+#include "obs/metrics.h"
+
+namespace classic::serve {
+
+bool AdmissionController::TryAdmit() {
+  // Optimistic reserve-then-check: overshoot is corrected before anyone
+  // observes it as admission, so in_flight_ never settles above the
+  // bound.
+  const size_t prior = in_flight_.fetch_add(1, std::memory_order_acquire);
+  if (prior >= options_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    CLASSIC_OBS_COUNT(kServeShed);
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  CLASSIC_OBS_COUNT(kServeAccepted);
+  return true;
+}
+
+void AdmissionController::Release() {
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+}  // namespace classic::serve

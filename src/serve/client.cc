@@ -1,0 +1,157 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace classic::serve {
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      decoder_(std::move(other.decoder_)),
+      hello_(other.hello_) {
+  other.fd_ = -1;
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrCat("socket: ", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument(StrCat("bad host address: ", host));
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::IOError(
+        StrCat("connect ", host, ":", port, ": ", std::strerror(errno)));
+    close(fd);
+    return st;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto client = std::unique_ptr<Client>(new Client(fd));
+  CLASSIC_ASSIGN_OR_RETURN(Frame greeting, client->RecvFrame());
+  if (greeting.opcode != Opcode::kHello) {
+    return Status::InvalidArgument("server did not send a hello frame");
+  }
+  CLASSIC_ASSIGN_OR_RETURN(client->hello_,
+                           DecodeHelloPayload(greeting.payload));
+  if (client->hello_.protocol_version != kProtocolVersion) {
+    return Status::NotImplemented(
+        StrCat("server speaks protocol version ",
+               client->hello_.protocol_version, ", client speaks ",
+               kProtocolVersion));
+  }
+  return client;
+}
+
+Status Client::SendFrame(Opcode opcode, std::string_view payload) {
+  const std::string bytes = EncodeFrame(opcode, payload);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::IOError(StrCat("send: ", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> Client::RecvFrame() {
+  while (true) {
+    CLASSIC_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_.Next());
+    if (frame.has_value()) return std::move(*frame);
+    char buf[64 * 1024];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (n < 0) return Status::IOError(StrCat("recv: ", std::strerror(errno)));
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Status Client::SendRequest(const QueryRequest& request) {
+  return SendFrame(Opcode::kRequest, request.ToWire());
+}
+
+Status Client::SendRequestText(std::string_view form) {
+  return SendFrame(Opcode::kRequest, form);
+}
+
+Result<Reply> Client::RecvReply() {
+  CLASSIC_ASSIGN_OR_RETURN(Frame frame, RecvFrame());
+  Reply reply;
+  if (frame.opcode == Opcode::kAnswer) {
+    CLASSIC_ASSIGN_OR_RETURN(reply.answer,
+                             QueryAnswer::FromWire(frame.payload));
+    reply.is_answer = true;
+    return reply;
+  }
+  if (frame.opcode == Opcode::kError) {
+    CLASSIC_ASSIGN_OR_RETURN(auto decoded, DecodeErrorPayload(frame.payload));
+    reply.error_code = std::move(decoded.first);
+    reply.error_message = std::move(decoded.second);
+    return reply;
+  }
+  return Status::InvalidArgument(
+      StrCat("expected an answer or error frame, got opcode ",
+             static_cast<unsigned>(frame.opcode)));
+}
+
+Result<QueryAnswer> Client::Call(const QueryRequest& request) {
+  CLASSIC_RETURN_NOT_OK(SendRequest(request));
+  CLASSIC_ASSIGN_OR_RETURN(Reply reply, RecvReply());
+  if (!reply.is_answer) {
+    return Status::IOError(StrCat("server error frame [", reply.error_code,
+                                  "]: ", reply.error_message));
+  }
+  return std::move(reply.answer);
+}
+
+Result<uint64_t> Client::Sync() {
+  CLASSIC_RETURN_NOT_OK(SendFrame(Opcode::kSync, ""));
+  CLASSIC_ASSIGN_OR_RETURN(Frame frame, RecvFrame());
+  if (frame.opcode == Opcode::kError) {
+    CLASSIC_ASSIGN_OR_RETURN(auto decoded, DecodeErrorPayload(frame.payload));
+    return Status(StatusCodeFromName(decoded.first), decoded.second);
+  }
+  if (frame.opcode != Opcode::kPinned) {
+    return Status::InvalidArgument("expected a pinned frame");
+  }
+  return DecodePinnedPayload(frame.payload);
+}
+
+Result<uint64_t> Client::PinEpoch(uint64_t epoch) {
+  CLASSIC_RETURN_NOT_OK(SendFrame(Opcode::kSync, StrCat(epoch)));
+  CLASSIC_ASSIGN_OR_RETURN(Frame frame, RecvFrame());
+  if (frame.opcode == Opcode::kError) {
+    CLASSIC_ASSIGN_OR_RETURN(auto decoded, DecodeErrorPayload(frame.payload));
+    return Status(StatusCodeFromName(decoded.first), decoded.second);
+  }
+  if (frame.opcode != Opcode::kPinned) {
+    return Status::InvalidArgument("expected a pinned frame");
+  }
+  return DecodePinnedPayload(frame.payload);
+}
+
+Status Client::Bye() { return SendFrame(Opcode::kBye, ""); }
+
+}  // namespace classic::serve

@@ -1,0 +1,95 @@
+// Blocking client for the CLASSIC wire protocol (docs/PROTOCOL.md).
+//
+// A thin, synchronous peer: connect, read the kHello greeting, then
+// either call one request at a time (Call) or pipeline — send a burst of
+// requests with SendRequest and collect replies with RecvReply; the
+// server answers in request order, one reply frame per request. This is
+// the client the integration tests, classic_serve --self-check and the
+// load generator all use; it has no reconnect/retry logic by design.
+//
+// Not thread-safe: one Client per thread.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "kb/kb_engine.h"
+#include "serve/framing.h"
+#include "util/result.h"
+
+namespace classic::serve {
+
+/// \brief One reply to one pipelined request: a decoded answer (kAnswer)
+/// or a typed error frame (kError — e.g. the admission controller's
+/// `overloaded` shed).
+struct Reply {
+  bool is_answer = false;
+  QueryAnswer answer;        ///< Valid when is_answer.
+  std::string error_code;    ///< Valid when !is_answer.
+  std::string error_message; ///< Valid when !is_answer.
+
+  bool shed() const {
+    return !is_answer && error_code == kErrorCodeOverloaded;
+  }
+};
+
+class Client {
+ public:
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// \brief Connects and consumes the kHello greeting.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port);
+
+  /// The greeting: protocol version + the session's initial epoch.
+  const HelloInfo& hello() const { return hello_; }
+
+  // --- Request pipelining ---------------------------------------------------
+
+  /// \brief Sends one request frame (canonical wire form) without
+  /// waiting; pair with RecvReply in the same order.
+  Status SendRequest(const QueryRequest& request);
+
+  /// \brief Sends one raw `.clq` request form, e.g. "(ask STUDENT)".
+  Status SendRequestText(std::string_view form);
+
+  /// \brief Reads the next reply frame (kAnswer or kError).
+  Result<Reply> RecvReply();
+
+  /// \brief Convenience round trip: SendRequest + RecvReply, flattening
+  /// an error frame into an error status.
+  Result<QueryAnswer> Call(const QueryRequest& request);
+
+  // --- Session ops ----------------------------------------------------------
+
+  /// \brief (sync): re-pins the server-side session to the current
+  /// epoch; returns the pinned epoch.
+  Result<uint64_t> Sync();
+
+  /// \brief (as-of E): pins a retained historical epoch.
+  Result<uint64_t> PinEpoch(uint64_t epoch);
+
+  /// \brief Orderly goodbye (kBye). The connection is unusable after.
+  Status Bye();
+
+  // --- Raw frame access (tests, protocol tooling) ---------------------------
+
+  Status SendFrame(Opcode opcode, std::string_view payload);
+  Result<Frame> RecvFrame();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_;
+  FrameDecoder decoder_;
+  HelloInfo hello_;
+};
+
+}  // namespace classic::serve

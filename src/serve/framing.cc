@@ -1,0 +1,147 @@
+#include "serve/framing.h"
+
+#include <cstring>
+
+#include "sexpr/sexpr.h"
+#include "util/string_util.h"
+
+namespace classic::serve {
+
+namespace {
+
+void AppendU32BE(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+uint32_t ReadU32BE(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return (uint32_t{b[0]} << 24) | (uint32_t{b[1]} << 16) |
+         (uint32_t{b[2]} << 8) | uint32_t{b[3]};
+}
+
+Result<uint64_t> ParseDecimal(const std::string& s, const char* what) {
+  if (s.empty()) return Status::InvalidArgument(StrCat("empty ", what));
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(StrCat("malformed ", what, ": ", s));
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+bool IsKnownOpcode(uint8_t byte) {
+  return byte >= static_cast<uint8_t>(Opcode::kHello) &&
+         byte <= static_cast<uint8_t>(Opcode::kBye);
+}
+
+void AppendFrame(Opcode opcode, std::string_view payload, std::string* out) {
+  AppendU32BE(static_cast<uint32_t>(payload.size() + 1), out);
+  out->push_back(static_cast<char>(opcode));
+  out->append(payload);
+}
+
+std::string EncodeFrame(Opcode opcode, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 5);
+  AppendFrame(opcode, payload, &out);
+  return out;
+}
+
+void FrameDecoder::Feed(const void* data, size_t n) {
+  // Reclaim consumed prefix before growing, so a long-lived connection's
+  // buffer stays proportional to its unread bytes, not its history.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  const size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::optional<Frame>();
+  const uint32_t len = ReadU32BE(buf_.data() + pos_);
+  if (len == 0) {
+    return Status::InvalidArgument("zero-length frame");
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrCat("frame length ", len, " exceeds the ", kMaxFrameBytes,
+               "-byte limit"));
+  }
+  if (avail < 4u + len) return std::optional<Frame>();
+  const uint8_t op = static_cast<uint8_t>(buf_[pos_ + 4]);
+  if (!IsKnownOpcode(op)) {
+    return Status::InvalidArgument(StrCat("unknown opcode ", op));
+  }
+  Frame frame;
+  frame.opcode = static_cast<Opcode>(op);
+  frame.payload.assign(buf_, pos_ + 5, len - 1);
+  pos_ += 4u + len;
+  return std::optional<Frame>(std::move(frame));
+}
+
+std::string EncodeHelloPayload(const HelloInfo& info) {
+  return StrCat("(hello ", info.protocol_version, " ", info.epoch, ")");
+}
+
+Result<HelloInfo> DecodeHelloPayload(const std::string& payload) {
+  CLASSIC_ASSIGN_OR_RETURN(sexpr::Value v, sexpr::Parse(payload));
+  if (!v.HasHead("hello") || v.size() != 3 || !v.at(1).IsInteger() ||
+      !v.at(2).IsInteger() || v.at(1).integer() < 0 ||
+      v.at(2).integer() < 0) {
+    return Status::InvalidArgument(StrCat("malformed hello: ", payload));
+  }
+  HelloInfo info;
+  info.protocol_version = static_cast<uint64_t>(v.at(1).integer());
+  info.epoch = static_cast<uint64_t>(v.at(2).integer());
+  return info;
+}
+
+std::string EncodePinnedPayload(uint64_t epoch) {
+  return StrCat("(pinned ", epoch, ")");
+}
+
+Result<uint64_t> DecodePinnedPayload(const std::string& payload) {
+  CLASSIC_ASSIGN_OR_RETURN(sexpr::Value v, sexpr::Parse(payload));
+  if (!v.HasHead("pinned") || v.size() != 2 || !v.at(1).IsInteger() ||
+      v.at(1).integer() < 0) {
+    return Status::InvalidArgument(StrCat("malformed pinned: ", payload));
+  }
+  return static_cast<uint64_t>(v.at(1).integer());
+}
+
+std::string EncodeErrorPayload(std::string_view code,
+                               std::string_view message) {
+  std::vector<sexpr::Value> items;
+  items.push_back(sexpr::Value::MakeSymbol("error"));
+  items.push_back(sexpr::Value::MakeSymbol(std::string(code)));
+  items.push_back(sexpr::Value::MakeString(std::string(message)));
+  return sexpr::Value::MakeList(std::move(items)).ToString();
+}
+
+Result<std::pair<std::string, std::string>> DecodeErrorPayload(
+    const std::string& payload) {
+  CLASSIC_ASSIGN_OR_RETURN(sexpr::Value v, sexpr::Parse(payload));
+  if (!v.HasHead("error") || v.size() != 3 || !v.at(1).IsSymbol() ||
+      !v.at(2).IsString()) {
+    return Status::InvalidArgument(StrCat("malformed error frame: ", payload));
+  }
+  return std::make_pair(v.at(1).text(), v.at(2).text());
+}
+
+Result<uint64_t> ParseSyncEpoch(const std::string& payload) {
+  return ParseDecimal(payload, "sync epoch");
+}
+
+}  // namespace classic::serve

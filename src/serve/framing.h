@@ -1,0 +1,136 @@
+// Wire framing for the CLASSIC serving front-end (docs/PROTOCOL.md).
+//
+// Every message on a connection is one frame:
+//
+//   +----------------+--------+-----------------+
+//   | length (u32 BE)| opcode | payload bytes   |
+//   +----------------+--------+-----------------+
+//
+// `length` counts the opcode byte plus the payload (so the smallest legal
+// frame is length 1: an opcode with an empty payload). Payloads are
+// s-expression text in the operator language — the same `.clq` concrete
+// syntax the repl speaks — so the protocol stays debuggable with a hex
+// dump and one eyeball.
+//
+// The codec is transport-agnostic byte-pushing: AppendFrame builds frames
+// into an output buffer, FrameDecoder consumes an arbitrary incoming byte
+// stream (partial frames, many frames per read, any fragmentation) and
+// yields complete frames in order. Malformed input — an oversized length,
+// an unknown opcode — is a hard decode error: the serving layer answers
+// with a typed error frame and closes, it never resynchronizes a broken
+// stream.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/result.h"
+
+namespace classic::serve {
+
+/// \brief Frame types. Values are the wire bytes (stable protocol
+/// contract; see docs/PROTOCOL.md).
+enum class Opcode : uint8_t {
+  /// Server -> client greeting, first frame on every connection:
+  /// "(hello <protocol-version> <pinned-epoch>)".
+  kHello = 0x01,
+  /// Client -> server: one `.clq` request form — either the canonical
+  /// `(request <kind> "<text>" [epoch])` or a bare read-only form like
+  /// `(ask STUDENT)`. Every kRequest is answered by exactly one kAnswer
+  /// or kError frame, in request order (pipelining-safe).
+  kRequest = 0x02,
+  /// Server -> client: "(answer <code> "<msg>" ("<value>" ...))".
+  kAnswer = 0x03,
+  /// Server -> client: typed error frame "(error <code> "<message>")".
+  /// Codes: the StatusCodeName set, plus "overloaded" (admission
+  /// controller shed) and "protocol" (malformed frame/opcode; the server
+  /// closes after sending it).
+  kError = 0x04,
+  /// Client -> server: re-pin the session. Empty payload pins the
+  /// engine's current epoch; a decimal payload ("3") pins that retained
+  /// epoch (as-of). Answered by kPinned or kError.
+  kSync = 0x05,
+  /// Server -> client: "(pinned <epoch>)" — the session's epoch after a
+  /// successful kSync.
+  kPinned = 0x06,
+  /// Client -> server: orderly goodbye; the server flushes pending
+  /// answers and closes the connection.
+  kBye = 0x07,
+};
+
+/// \brief True for opcode bytes the protocol defines.
+bool IsKnownOpcode(uint8_t byte);
+
+/// \brief One decoded frame.
+struct Frame {
+  Opcode opcode = Opcode::kRequest;
+  std::string payload;
+};
+
+/// Frames above this length are a protocol error on decode; encoders
+/// never build them (16 MiB is orders of magnitude above any real
+/// request or answer).
+inline constexpr size_t kMaxFrameBytes = 16u << 20;
+
+/// \brief Appends one encoded frame to `out`.
+void AppendFrame(Opcode opcode, std::string_view payload, std::string* out);
+
+/// \brief One frame as a byte string.
+std::string EncodeFrame(Opcode opcode, std::string_view payload);
+
+/// \brief Incremental frame parser over an arbitrary byte stream.
+class FrameDecoder {
+ public:
+  /// \brief Appends raw bytes from the transport.
+  void Feed(const void* data, size_t n);
+
+  /// \brief Pops the next complete frame: a frame, nullopt when more
+  /// bytes are needed, or InvalidArgument on malformed input (oversized
+  /// length, zero-length frame, unknown opcode). After an error the
+  /// stream is unrecoverable; callers close the connection.
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+// --- Control payloads -------------------------------------------------------
+
+/// Contents of the kHello greeting.
+struct HelloInfo {
+  uint64_t protocol_version = 0;
+  uint64_t epoch = 0;  ///< The session's pinned epoch (0 = none yet).
+};
+
+inline constexpr uint64_t kProtocolVersion = 1;
+
+std::string EncodeHelloPayload(const HelloInfo& info);
+Result<HelloInfo> DecodeHelloPayload(const std::string& payload);
+
+std::string EncodePinnedPayload(uint64_t epoch);
+Result<uint64_t> DecodePinnedPayload(const std::string& payload);
+
+/// Error-frame code for requests shed by the admission controller.
+inline constexpr const char* kErrorCodeOverloaded = "overloaded";
+/// Error-frame code for malformed frames; the server closes afterwards.
+inline constexpr const char* kErrorCodeProtocol = "protocol";
+
+std::string EncodeErrorPayload(std::string_view code,
+                               std::string_view message);
+/// \brief Decodes "(error <code> "<message>")" into {code, message}.
+Result<std::pair<std::string, std::string>> DecodeErrorPayload(
+    const std::string& payload);
+
+/// \brief Parses a non-empty kSync payload (decimal epoch number).
+Result<uint64_t> ParseSyncEpoch(const std::string& payload);
+
+}  // namespace classic::serve

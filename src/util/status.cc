@@ -24,6 +24,19 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+StatusCode StatusCodeFromName(const std::string& name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kInconsistent, StatusCode::kNotImplemented,
+      StatusCode::kIOError,      StatusCode::kInternal,
+  };
+  for (StatusCode code : kAll) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

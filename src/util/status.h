@@ -38,6 +38,12 @@ enum class StatusCode {
 /// \brief Returns a human-readable name for a status code.
 const char* StatusCodeName(StatusCode code);
 
+/// \brief Inverse of StatusCodeName ("NotFound" -> kNotFound); kInternal
+/// for unknown names, so a decoded error is never silently dropped to OK.
+/// The name set is part of the wire protocol (docs/PROTOCOL.md): answer
+/// frames carry the status code by name.
+StatusCode StatusCodeFromName(const std::string& name);
+
 /// \brief Outcome of a fallible operation with no payload.
 ///
 /// A default-constructed Status is OK. Error statuses carry a code and a

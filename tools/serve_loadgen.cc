@@ -1,0 +1,385 @@
+// serve-loadgen: closed- and open-loop load generation for the CLASSIC
+// serving front-end (docs/PROTOCOL.md).
+//
+// Usage:
+//   serve_loadgen --file=KB [OPTIONS]            # in-process server
+//   serve_loadgen --host=H --port=P [OPTIONS]    # external server
+//
+//   --query=FORM       request form (default "(ask STUDENT)")
+//   --connections=C    concurrent connections (default 4)
+//   --requests=N       total closed-loop requests (default 4000)
+//   --rate=R           open-loop offered rate, requests/s (default: a
+//                      quarter of the measured closed-loop throughput)
+//   --open-seconds=S   open-loop duration (default 3)
+//   --json             JSON report on stdout (the BENCH_serving.json shape)
+//
+// Two complementary measurements:
+//
+//   closed loop — C connections issue requests back-to-back (send, wait,
+//   repeat). Aggregate throughput under saturation is the "max
+//   sustainable requests/s" figure; per-request latency is pure service
+//   time plus one round trip.
+//
+//   open loop — arrivals are scheduled at a fixed offered rate on an
+//   absolute timeline, and latency is measured from the SCHEDULED send
+//   time to reply receipt. A server that stalls cannot hide the stall by
+//   slowing the senders down (no coordinated omission).
+//
+// Exit status: 0 = report written, 2 = operational error.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classic/database.h"
+#include "kb/kb_engine.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+using classic::Database;
+using classic::KbEngine;
+using classic::QueryAnswer;
+using classic::Result;
+using classic::serve::Client;
+using classic::serve::Reply;
+using classic::serve::Server;
+using Clock = std::chrono::steady_clock;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: serve_loadgen (--file=KB | --host=H --port=P) "
+               "[--query=FORM] [--connections=C] [--requests=N] [--rate=R] "
+               "[--open-seconds=S] [--json]\n");
+  return 2;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+struct Percentiles {
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+};
+
+Percentiles ComputePercentiles(std::vector<uint64_t>* ns) {
+  Percentiles out;
+  if (ns->empty()) return out;
+  std::sort(ns->begin(), ns->end());
+  auto at = [&](double q) {
+    const size_t i = static_cast<size_t>(q * static_cast<double>(ns->size()));
+    return (*ns)[std::min(i, ns->size() - 1)];
+  };
+  out.p50 = at(0.50);
+  out.p99 = at(0.99);
+  out.p999 = at(0.999);
+  return out;
+}
+
+struct LoopResult {
+  size_t requests = 0;
+  size_t errors = 0;
+  double wall_s = 0;
+  double throughput_rps = 0;
+  Percentiles latency;
+};
+
+/// Closed loop: every connection keeps exactly one request in flight.
+LoopResult RunClosedLoop(const std::string& host, uint16_t port,
+                         const std::string& query, size_t connections,
+                         size_t total_requests) {
+  LoopResult result;
+  std::vector<std::vector<uint64_t>> latencies(connections);
+  std::vector<size_t> errors(connections, 0);
+  const size_t per_conn = (total_requests + connections - 1) / connections;
+
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      Result<std::unique_ptr<Client>> client = Client::Connect(host, port);
+      if (!client.ok()) {
+        errors[c] = per_conn;
+        return;
+      }
+      latencies[c].reserve(per_conn);
+      for (size_t i = 0; i < per_conn; ++i) {
+        const uint64_t t0 = NowNs();
+        classic::Status sent = (*client)->SendRequestText(query);
+        Result<Reply> reply =
+            sent.ok() ? (*client)->RecvReply() : Result<Reply>(sent);
+        if (!reply.ok() || !reply->is_answer || !reply->answer.status.ok()) {
+          ++errors[c];
+          if (!reply.ok()) return;  // connection-level failure: stop
+          continue;
+        }
+        latencies[c].push_back(NowNs() - t0);
+      }
+      (void)(*client)->Bye();
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<uint64_t> merged;
+  for (auto& v : latencies) {
+    merged.insert(merged.end(), v.begin(), v.end());
+  }
+  for (size_t e : errors) result.errors += e;
+  result.requests = merged.size();
+  result.throughput_rps =
+      result.wall_s > 0 ? static_cast<double>(merged.size()) / result.wall_s
+                        : 0;
+  result.latency = ComputePercentiles(&merged);
+  return result;
+}
+
+/// Open loop: arrivals are pinned to an absolute schedule; latency runs
+/// from the scheduled send time, so server stalls show up as queueing
+/// delay instead of vanishing into a slowed-down sender.
+LoopResult RunOpenLoop(const std::string& host, uint16_t port,
+                       const std::string& query, size_t connections,
+                       double rate_rps, double seconds) {
+  LoopResult result;
+  const size_t per_conn = static_cast<size_t>(
+      rate_rps * seconds / static_cast<double>(connections));
+  if (per_conn == 0) return result;
+  const double interval_ns =
+      1e9 * static_cast<double>(connections) / rate_rps;
+
+  std::vector<std::vector<uint64_t>> latencies(connections);
+  std::vector<size_t> errors(connections, 0);
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      Result<std::unique_ptr<Client>> client = Client::Connect(host, port);
+      if (!client.ok()) {
+        errors[c] = per_conn;
+        return;
+      }
+      // Stagger connection phases so arrivals interleave evenly.
+      const auto base =
+          start + std::chrono::nanoseconds(static_cast<uint64_t>(
+                      interval_ns * static_cast<double>(c) /
+                      static_cast<double>(connections)));
+      std::vector<uint64_t> scheduled_ns(per_conn);
+      for (size_t i = 0; i < per_conn; ++i) {
+        const auto due = base + std::chrono::nanoseconds(static_cast<uint64_t>(
+                                    interval_ns * static_cast<double>(i)));
+        scheduled_ns[i] = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                due.time_since_epoch())
+                .count());
+      }
+
+      // The receiver drains replies CONCURRENTLY with the scheduled
+      // sends — replies arrive in request order, so reply i is matched
+      // against scheduled_ns[i]. The Client's send and recv paths touch
+      // disjoint state, so one sender + one receiver per connection is
+      // safe.
+      latencies[c].reserve(per_conn);
+      std::thread receiver([&, c] {
+        for (size_t i = 0; i < per_conn; ++i) {
+          Result<Reply> reply = (*client)->RecvReply();
+          if (!reply.ok()) {
+            errors[c] += per_conn - i;
+            return;
+          }
+          if (!reply->is_answer || !reply->answer.status.ok()) {
+            ++errors[c];
+            continue;
+          }
+          latencies[c].push_back(NowNs() - scheduled_ns[i]);
+        }
+      });
+      for (size_t i = 0; i < per_conn; ++i) {
+        std::this_thread::sleep_until(base + std::chrono::nanoseconds(
+                                                 scheduled_ns[i]) -
+                                      std::chrono::nanoseconds(
+                                          scheduled_ns[0]));
+        if (!(*client)->SendRequestText(query).ok()) {
+          // A dead socket errors the receiver out of its recv too.
+          break;
+        }
+      }
+      receiver.join();
+      (void)(*client)->Bye();
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<uint64_t> merged;
+  for (auto& v : latencies) merged.insert(merged.end(), v.begin(), v.end());
+  for (size_t e : errors) result.errors += e;
+  result.requests = merged.size();
+  result.throughput_rps =
+      result.wall_s > 0 ? static_cast<double>(merged.size()) / result.wall_s
+                        : 0;
+  result.latency = ComputePercentiles(&merged);
+  return result;
+}
+
+bool ParseSize(const std::string& arg, size_t prefix, size_t* out) {
+  char* end = nullptr;
+  const std::string digits = arg.substr(prefix);
+  const unsigned long long v = std::strtoull(digits.c_str(), &end, 10);
+  if (digits.empty() || end == nullptr || *end != '\0') return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+void PrintLoopJson(std::FILE* out, const char* name, const LoopResult& r,
+                   double offered_rps) {
+  std::fprintf(out,
+               "  \"%s\": {\n"
+               "    \"requests\": %zu,\n"
+               "    \"errors\": %zu,\n"
+               "    \"wall_s\": %.3f,\n",
+               name, r.requests, r.errors, r.wall_s);
+  if (offered_rps > 0) {
+    std::fprintf(out, "    \"offered_rps\": %.1f,\n", offered_rps);
+  }
+  std::fprintf(out,
+               "    \"achieved_rps\": %.1f,\n"
+               "    \"latency_ns\": {\"p50\": %llu, \"p99\": %llu, "
+               "\"p999\": %llu}\n"
+               "  }",
+               r.throughput_rps,
+               static_cast<unsigned long long>(r.latency.p50),
+               static_cast<unsigned long long>(r.latency.p99),
+               static_cast<unsigned long long>(r.latency.p999));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string query = "(ask STUDENT)";
+  size_t connections = 4;
+  size_t requests = 4000;
+  double rate = 0;  // 0 = a quarter of the measured closed-loop throughput
+  double open_seconds = 3;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    size_t n = 0;
+    if (arg.rfind("--file=", 0) == 0) {
+      file = arg.substr(7);
+    } else if (arg.rfind("--host=", 0) == 0) {
+      host = arg.substr(7);
+    } else if (arg.rfind("--port=", 0) == 0 && ParseSize(arg, 7, &n) &&
+               n <= 65535) {
+      port = static_cast<uint16_t>(n);
+    } else if (arg.rfind("--query=", 0) == 0) {
+      query = arg.substr(8);
+    } else if (arg.rfind("--connections=", 0) == 0 && ParseSize(arg, 14, &n) &&
+               n > 0) {
+      connections = n;
+    } else if (arg.rfind("--requests=", 0) == 0 && ParseSize(arg, 11, &n) &&
+               n > 0) {
+      requests = n;
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      rate = std::atof(arg.c_str() + 7);
+    } else if (arg.rfind("--open-seconds=", 0) == 0) {
+      open_seconds = std::atof(arg.c_str() + 15);
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (file.empty() && port == 0) return Usage();
+
+  // In-process server mode: load the KB, publish, serve on loopback.
+  // The load still crosses a real TCP socket — only process-coordination
+  // pain is removed, not the wire.
+  std::unique_ptr<Database> db;
+  std::unique_ptr<KbEngine> engine;
+  std::unique_ptr<Server> server;
+  if (!file.empty()) {
+    db = std::make_unique<Database>();
+    if (classic::Status st = db->LoadFile(file); !st.ok()) {
+      std::fprintf(stderr, "serve_loadgen: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    engine = std::make_unique<KbEngine>(KbEngine::Options{.num_threads = 1});
+    engine->PublishFrom(db->kb());
+    server = std::make_unique<Server>(engine.get(), Server::Options{});
+    if (classic::Status st = server->Start(); !st.ok()) {
+      std::fprintf(stderr, "serve_loadgen: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    port = server->port();
+  }
+
+  // Warm-up: first-touch costs (page faults, allocator growth, the
+  // server's first batch) stay out of the measured runs.
+  RunClosedLoop(host, port, query, connections, connections * 50);
+
+  const LoopResult closed = RunClosedLoop(host, port, query, connections,
+                                          requests);
+  // Default offered rate: a quarter of saturation throughput — far
+  // enough below the knee that open-loop latency measures service time
+  // plus scheduling, not a standing queue.
+  const double offered =
+      rate > 0 ? rate : std::max(1.0, closed.throughput_rps / 4);
+  const LoopResult open =
+      RunOpenLoop(host, port, query, connections, offered, open_seconds);
+
+  if (server != nullptr) server->Stop();
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"benchmark\": \"serving\",\n");
+    std::printf("  \"kb\": \"%s\",\n", file.c_str());
+    std::printf("  \"query\": \"");
+    for (char ch : query) {
+      if (ch == '"' || ch == '\\') std::putchar('\\');
+      std::putchar(ch);
+    }
+    std::printf("\",\n");
+    std::printf("  \"connections\": %zu,\n", connections);
+    PrintLoopJson(stdout, "closed_loop", closed, 0);
+    std::printf(",\n");
+    PrintLoopJson(stdout, "open_loop", open, offered);
+    std::printf(",\n");
+    std::printf("  \"max_sustainable_rps\": %.1f\n", closed.throughput_rps);
+    std::printf("}\n");
+  } else {
+    std::printf("closed loop: %zu requests, %zu errors, %.2fs, %.0f rps\n",
+                closed.requests, closed.errors, closed.wall_s,
+                closed.throughput_rps);
+    std::printf("  latency p50=%.1fus p99=%.1fus p999=%.1fus\n",
+                closed.latency.p50 / 1e3, closed.latency.p99 / 1e3,
+                closed.latency.p999 / 1e3);
+    std::printf(
+        "open loop: offered %.0f rps, achieved %.0f rps, %zu requests, "
+        "%zu errors\n",
+        offered, open.throughput_rps, open.requests, open.errors);
+    std::printf("  latency p50=%.1fus p99=%.1fus p999=%.1fus\n",
+                open.latency.p50 / 1e3, open.latency.p99 / 1e3,
+                open.latency.p999 / 1e3);
+    std::printf("max sustainable: %.0f rps\n", closed.throughput_rps);
+  }
+  const bool too_many_errors =
+      closed.errors > closed.requests / 100 || open.errors > open.requests;
+  return too_many_errors ? 2 : 0;
+}
