@@ -176,6 +176,45 @@ std::vector<std::string> PopulateIndividuals(Database* db,
   return names;
 }
 
+std::vector<std::string> BulkPopulateIndividuals(Database* db,
+                                                 const SchemaHandles& schema,
+                                                 const BulkSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<std::string> names;
+  names.reserve(spec.num_individuals);
+  for (size_t i = 0; i < spec.num_individuals; ++i) {
+    std::string name = StrCat("Ind-", i);
+    Must(db->CreateIndividual(name), "create-ind");
+    names.push_back(name);
+  }
+  std::vector<std::pair<std::string, std::string>> batch;
+  for (size_t i = 0; i < spec.num_individuals; ++i) {
+    const std::string& name = names[i];
+    if (rng.Chance(spec.primitive_assert_prob)) {
+      batch.emplace_back(
+          name,
+          schema.primitive_names[rng.Below(schema.primitive_names.size())]);
+    }
+    // Giant component: fill with any earlier individual. Islands: stay
+    // inside the block of `island` consecutive individuals.
+    const size_t lo = spec.island == 0 ? 0 : (i / spec.island) * spec.island;
+    for (size_t k = 0; k < spec.fills_per_individual; ++k) {
+      const std::string& role =
+          schema.role_names[rng.Below(schema.role_names.size())];
+      const std::string& target = names[lo + rng.Below(i - lo + 1)];
+      batch.emplace_back(name, StrCat("(FILLS ", role, " ", target, ")"));
+    }
+    if (rng.Chance(0.25)) {
+      const std::string& role =
+          schema.role_names[rng.Below(schema.role_names.size())];
+      batch.emplace_back(name,
+                         StrCat("(AT-MOST ", 6 + rng.Below(6), " ", role, ")"));
+    }
+  }
+  Must(db->BulkAssert(batch), "bulk-assert");
+  return names;
+}
+
 StandardWorkload BuildStandardWorkload(Database* db, size_t num_concepts,
                                        size_t num_individuals,
                                        uint64_t seed) {

@@ -40,6 +40,18 @@ if [[ "$TSAN_ONLY" -eq 0 ]]; then
       --benchmark_format=json --benchmark_min_time=0.05 2> /dev/null |
     python3 scripts/check_publish_cost.py
 
+  echo "== propagate: serial-vs-parallel determinism over shipped KBs"
+  ./build/tools/classic_propcheck examples/university.classic \
+      examples/crime.classic
+
+  echo "== perf: bulk-load cost regression guard (smoke-mode bench)"
+  cmake --build build -j"$JOBS" --target bench_assert
+  # min_time must be long enough for several iterations: a single cold
+  # iteration is dominated by first-touch warm-up (3-4x steady state).
+  ./build/bench/bench_assert --benchmark_filter='BM_BulkLoad/1024$' \
+      --benchmark_format=json --benchmark_min_time=0.5 2> /dev/null |
+    python3 scripts/check_bulkload_cost.py
+
   echo "== serve: loadgen vs BENCH_serving.json baseline"
   ./build/tools/serve_loadgen --file=examples/university.classic \
       --requests=2000 --open-seconds=2 --json |
@@ -71,12 +83,17 @@ echo "== tsan: configure + build parallel suites"
 cmake -B build-tsan -S . -DCLASSIC_TSAN=ON > /dev/null
 cmake --build build-tsan -j"$JOBS" --target \
   parallel_diff_test parallel_stress_test obs_parallel_test \
-  epoch_persistence_test serve_test
+  epoch_persistence_test serve_test propagate_stress_test \
+  propagate_determinism_test
 
 echo "== tsan: parallel_diff_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_diff_test
 echo "== tsan: parallel_stress_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
+echo "== tsan: propagate_stress_test (pooled wavefronts vs readers)"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/propagate_stress_test
+echo "== tsan: propagate_determinism_test"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/propagate_determinism_test
 echo "== tsan: obs_parallel_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_parallel_test
 echo "== tsan: epoch_persistence_test"

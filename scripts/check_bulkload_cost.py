@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Bulk-load cost regression guard.
+
+Reads Google Benchmark JSON (--benchmark_format=json) on stdin, finds the
+BM_BulkLoad/1024 run, and fails if its wall time exceeds the baseline by
+more than the allowed factor. The baseline is the write-side fixed-point
+cost the worklist propagation engine is accountable for: ~50 us per
+individual (51 ms for 1,024) at the time the engine was restructured.
+The guard catches the propagation loop regressing toward super-linear
+behavior (e.g. losing wavefront dedup, or re-normalizing settled
+individuals), independent of whether a worker pool is available.
+
+Usage:
+  ./build/bench/bench_assert --benchmark_filter='BM_BulkLoad/1024$' \
+      --benchmark_format=json --benchmark_min_time=0.5 |
+    python3 scripts/check_bulkload_cost.py
+
+Use a min_time long enough for several iterations (>= 0.5s): a single
+cold iteration is dominated by first-touch warm-up and reads 3-4x the
+steady-state cost, which this guard is not trying to police.
+"""
+
+import json
+import sys
+
+# Budget for BM_BulkLoad/1024 in nanoseconds. The serial worklist engine
+# measures ~51 ms on the CI container; 2.5x headroom absorbs container
+# noise while still catching an accidental extra fixed-point sweep
+# (each wasted re-derivation pass costs a further ~50 ms here).
+BASELINE_NS = 51_000_000.0
+MAX_FACTOR = 2.5
+
+TARGET = "BM_BulkLoad/1024"
+
+
+def main() -> int:
+    data = json.load(sys.stdin)
+    runs = [
+        b
+        for b in data.get("benchmarks", [])
+        if b.get("name") == TARGET and b.get("run_type") != "aggregate"
+    ]
+    if not runs:
+        print(f"check_bulkload_cost: no {TARGET} run in input", file=sys.stderr)
+        return 1
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    ns = runs[0]["real_time"] * scale.get(runs[0]["time_unit"], 1.0)
+    limit = BASELINE_NS * MAX_FACTOR
+    verdict = "ok" if ns <= limit else "REGRESSION"
+    print(
+        f"check_bulkload_cost: {TARGET} = {ns:,.0f} ns/op "
+        f"(limit {limit:,.0f} ns) -> {verdict}"
+    )
+    return 0 if ns <= limit else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

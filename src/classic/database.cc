@@ -5,10 +5,23 @@
 #include "query/path_query.h"
 #include "storage/snapshot.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace classic {
 
 Database::Database() = default;
+
+// Out of line: ~unique_ptr<ThreadPool> needs the complete type.
+Database::~Database() { kb_.SetPropagationPool(nullptr); }
+
+void Database::EnableParallelPropagation(size_t threads) {
+  kb_.SetPropagationPool(nullptr);
+  propagate_pool_.reset();
+  if (threads > 0) {
+    propagate_pool_ = std::make_unique<ThreadPool>(threads);
+    kb_.SetPropagationPool(propagate_pool_.get());
+  }
+}
 
 Result<DescPtr> Database::Parse(const std::string& text) const {
   auto& symbols = kb_.vocab().symbols();
@@ -87,6 +100,26 @@ Status Database::AssertInd(const std::string& name,
                            const std::string& expression) {
   CLASSIC_ASSIGN_OR_RETURN(DescPtr d, Parse(expression));
   return AssertInd(name, std::move(d));
+}
+
+Status Database::BulkAssert(
+    const std::vector<std::pair<std::string, std::string>>& assertions) {
+  std::vector<std::pair<IndId, DescPtr>> batch;
+  std::vector<std::string> log_lines;
+  batch.reserve(assertions.size());
+  log_lines.reserve(assertions.size());
+  for (const auto& [name, expression] : assertions) {
+    CLASSIC_ASSIGN_OR_RETURN(IndId ind, FindIndividual(name));
+    CLASSIC_ASSIGN_OR_RETURN(DescPtr d, Parse(expression));
+    log_lines.push_back(StrCat("(assert-ind ", name, " ",
+                               d->ToString(kb_.vocab().symbols()), ")"));
+    batch.emplace_back(ind, std::move(d));
+  }
+  CLASSIC_RETURN_NOT_OK(kb_.AssertIndBatch(batch));
+  for (const std::string& line : log_lines) {
+    CLASSIC_RETURN_NOT_OK(LogOp(line));
+  }
+  return Status::OK();
 }
 
 Status Database::AssertInd(const std::string& name, DescPtr expression) {

@@ -1,8 +1,8 @@
 #include "kb/knowledge_base.h"
 
 #include <algorithm>
-#include <deque>
 
+#include "kb/propagate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "subsume/subsume.h"
@@ -27,267 +27,33 @@ bool IsReservedConceptName(std::string_view name) {
   return false;
 }
 
+/// Separates CLOSE conjuncts from the descriptive part of an individual
+/// expression. CLOSE may appear at the top level or under AND only (the
+/// parser forbids it under ALL already, and normalization would reject
+/// it).
+void SplitCloseConjuncts(const DescPtr& expr, std::vector<DescPtr>* rest,
+                         std::vector<Symbol>* close_roles) {
+  if (expr->kind() == DescKind::kClose) {
+    close_roles->push_back(expr->role());
+    return;
+  }
+  if (expr->kind() == DescKind::kAnd) {
+    for (const DescPtr& c : expr->conjuncts()) {
+      SplitCloseConjuncts(c, rest, close_roles);
+    }
+    return;
+  }
+  rest->push_back(expr);
+}
+
 }  // namespace
 
-// ---------------------------------------------------------------------------
-// The propagation engine. One engine instance runs one update to a fixed
-// point, journaling every touched structure so a detected inconsistency
-// rolls the whole update back (assert-ind is atomic).
-// ---------------------------------------------------------------------------
+// The propagation machinery itself (wave-based worklist engine, component
+// partitioner, parallel scheduler) lives in kb/propagate.{h,cc}; one
+// Propagator instance runs one update to a fixed point, journaling every
+// touched structure so a detected inconsistency rolls the whole update
+// back (assert-ind is atomic).
 
-class PropagationEngine {
- public:
-  explicit PropagationEngine(KnowledgeBase* kb) : kb_(kb) {}
-
-  void Enqueue(IndId ind) {
-    if (queued_.insert(ind).second) worklist_.push_back(ind);
-  }
-
-  /// Merges extra knowledge into an individual's derived state.
-  Status MergeInto(IndId ind, const NormalForm& nf) {
-    IndividualState& st = Touch(ind);
-    NormalFormPtr merged = kb_->normalizer_->Meet(*st.derived, nf);
-    if (merged->incoherent()) {
-      return Status::Inconsistent(
-          StrCat("update would make ", kb_->vocab_->IndividualName(ind),
-                 " incoherent (",
-                 IncoherenceKindName(merged->incoherence_kind()),
-                 "): ", merged->incoherence_reason()));
-    }
-    // Interning makes pointer identity a complete no-change test: both
-    // sides come from the store, so structural equality implies the same
-    // canonical object. The structural comparison remains as fallback for
-    // non-interned configurations.
-    const bool unchanged =
-        merged == st.derived ||
-        (merged->interned_id() != kNoNfId &&
-         st.derived->interned_id() != kNoNfId
-             ? merged->interned_id() == st.derived->interned_id()
-             : merged->Equals(*st.derived));
-    if (!unchanged) {
-      st.derived = merged;
-      Enqueue(ind);
-      // Whoever references this individual may now recognize more.
-      if (const std::set<IndId>* refs = kb_->referenced_by_.Find(ind)) {
-        for (IndId host : *refs) Enqueue(host);
-      }
-    }
-    return Status::OK();
-  }
-
-  Status Run() {
-    while (!worklist_.empty()) {
-      IndId ind = worklist_.front();
-      worklist_.pop_front();
-      queued_.erase(ind);
-      CLASSIC_RETURN_NOT_OK(Step(ind));
-    }
-    return Status::OK();
-  }
-
-  void Rollback() {
-    for (auto& [ind, saved] : undo_) {
-      kb_->MutableState(ind) = std::move(saved);
-    }
-    for (const auto& [node, ind] : instance_inserts_) {
-      kb_->instances_.Mutable(node).erase(ind);
-    }
-    for (const auto& [filler, host] : refs_added_) {
-      kb_->referenced_by_.Mutable(filler).erase(host);
-    }
-    ++kb_->stats_.rejected_updates;
-  }
-
- private:
-  IndividualState& Touch(IndId ind) {
-    IndividualState& st = kb_->MutableState(ind);
-    undo_.try_emplace(ind, st);
-    return st;
-  }
-
-  Status Step(IndId ind) {
-    ++kb_->stats_.propagation_steps;
-    CLASSIC_OBS_COUNT(kPropagationSteps);
-    if (!kb_->IsClassicIndividual(ind)) {
-      // Host individuals are immutable values: they are classified (they
-      // can belong to enumerated / TEST / built-in concepts) but carry no
-      // roles and never gain derived state, so rules do not apply.
-      Realize(ind);
-      return Status::OK();
-    }
-    CLASSIC_RETURN_NOT_OK(PropagateToFillers(ind));
-    CLASSIC_RETURN_NOT_OK(PropagateCoref(ind));
-    Realize(ind);
-    CLASSIC_RETURN_NOT_OK(FireRules(ind));
-    return Status::OK();
-  }
-
-  /// (ALL r C) applied to every known r-filler; host fillers are checked
-  /// (they carry complete intrinsic knowledge), CLASSIC fillers gain C.
-  Status PropagateToFillers(IndId ind) {
-    NormalFormPtr derived = kb_->StateRef(ind).derived;  // snapshot
-    for (const auto& [role, rr] : derived->roles()) {
-      for (IndId filler : rr.fillers) {
-        if (kb_->referenced_by_.Mutable(filler).insert(ind).second) {
-          refs_added_.emplace_back(filler, ind);
-        }
-        if (!rr.value_restriction || rr.value_restriction->IsThing()) {
-          continue;
-        }
-        const NormalForm& vr = *rr.value_restriction;
-        if (kb_->IsClassicIndividual(filler)) {
-          Status st = MergeInto(filler, vr);
-          if (!st.ok()) {
-            return st.WithContext(
-                StrCat("propagating (ALL ",
-                       kb_->vocab_->symbols().Name(kb_->vocab_->role(role).name),
-                       " ...) from ", kb_->vocab_->IndividualName(ind)));
-          }
-        } else if (!kb_->Satisfies(filler, vr)) {
-          return Status::Inconsistent(
-              StrCat("host filler ", kb_->vocab_->IndividualName(filler),
-                     " of role ",
-                     kb_->vocab_->symbols().Name(kb_->vocab_->role(role).name),
-                     " on ", kb_->vocab_->IndividualName(ind),
-                     " violates the value restriction"));
-        }
-      }
-    }
-    return Status::OK();
-  }
-
-  /// SAME-AS chains: when one path of a co-reference class resolves to a
-  /// value, the value is propagated into the other paths (deriving new
-  /// fillers); two distinct resolved values are a contradiction under the
-  /// unique-name assumption.
-  Status PropagateCoref(IndId ind) {
-    NormalFormPtr derived = kb_->StateRef(ind).derived;
-    if (derived->coref().empty()) return Status::OK();
-    for (const auto& cls : derived->coref().CanonicalClasses()) {
-      std::optional<IndId> value;
-      for (const auto& path : cls) {
-        std::optional<IndId> v = kb_->ResolvePath(ind, path);
-        if (!v) continue;
-        if (value && *value != *v) {
-          return Status::Inconsistent(
-              StrCat("co-reference conflict on ",
-                     kb_->vocab_->IndividualName(ind), ": paths resolve to ",
-                     kb_->vocab_->IndividualName(*value), " and ",
-                     kb_->vocab_->IndividualName(*v)));
-        }
-        value = v;
-      }
-      if (!value) continue;
-      // Fill the last step of every path whose prefix resolves.
-      for (const auto& path : cls) {
-        RolePath prefix(path.begin(), path.end() - 1);
-        std::optional<IndId> holder = kb_->ResolvePath(ind, prefix);
-        if (!holder) continue;
-        const RoleRestriction& rr =
-            kb_->StateRef(*holder).derived->role(path.back());
-        if (rr.fillers.count(*value) > 0) continue;
-        NormalForm fill;
-        fill.MutableRole(path.back(), *kb_->vocab_)->fillers.insert(*value);
-        fill.Tighten(*kb_->vocab_);
-        Status st = MergeInto(*holder, fill);
-        if (!st.ok()) return st.WithContext("propagating SAME-AS filler");
-      }
-    }
-    return Status::OK();
-  }
-
-  /// Recomputes the individual's position in the taxonomy (recognition):
-  /// top-down search, since the set of satisfied nodes is upward-closed.
-  void Realize(IndId ind) {
-    ++kb_->stats_.realizations;
-    CLASSIC_OBS_COUNT(kRealizations);
-    obs::TraceSpan span("realize");
-    const Taxonomy& tax = kb_->taxonomy_;
-    const std::set<NodeId>& already = kb_->StateRef(ind).subsumer_nodes;
-    std::set<NodeId> subs;
-    std::deque<NodeId> queue(tax.roots().begin(), tax.roots().end());
-    std::set<NodeId> seen(tax.roots().begin(), tax.roots().end());
-    while (!queue.empty()) {
-      NodeId node = queue.front();
-      queue.pop_front();
-      // Recognition is monotone ("every individual can move into a class
-      // at most once"), so previously recognized nodes need no re-test.
-      if (already.count(node) == 0 &&
-          !kb_->Satisfies(ind, *tax.NodeForm(node))) {
-        continue;
-      }
-      subs.insert(node);
-      for (NodeId child : tax.Children(node)) {
-        if (seen.insert(child).second) queue.push_back(child);
-      }
-    }
-    const IndividualState& st = kb_->StateRef(ind);
-    // Monotonicity guard: recognition never retracts (paper Section 5).
-    subs.insert(st.subsumer_nodes.begin(), st.subsumer_nodes.end());
-    if (subs == st.subsumer_nodes) return;
-    // Touch may path-copy the record's chunk; `st`/`already` stay valid
-    // (they alias the shared pre-copy chunk) but are stale from here on.
-    IndividualState& stw = Touch(ind);
-    for (NodeId node : subs) {
-      if (stw.subsumer_nodes.count(node) == 0) {
-        if (kb_->instances_.Mutable(node).insert(ind).second) {
-          instance_inserts_.emplace_back(node, ind);
-        }
-      }
-    }
-    stw.subsumer_nodes = std::move(subs);
-    stw.msc.clear();
-    for (NodeId node : stw.subsumer_nodes) {
-      bool most_specific = true;
-      for (NodeId child : tax.Children(node)) {
-        if (stw.subsumer_nodes.count(child) > 0) {
-          most_specific = false;
-          break;
-        }
-      }
-      if (most_specific) stw.msc.insert(node);
-    }
-  }
-
-  /// Fires pending rules for every node the individual is recognized
-  /// under; each rule fires at most once per individual.
-  Status FireRules(IndId ind) {
-    // Snapshot: rule application can change subsumer_nodes (via Enqueue /
-    // later Realize), which re-runs Step anyway.
-    std::vector<size_t> pending;
-    {
-      const IndividualState& st = kb_->StateRef(ind);
-      for (NodeId node : st.subsumer_nodes) {
-        const std::vector<size_t>* on_node = kb_->rules_on_node_.Find(node);
-        if (on_node == nullptr) continue;
-        for (size_t idx : *on_node) {
-          if (st.applied_rules.count(idx) == 0) pending.push_back(idx);
-        }
-      }
-    }
-    for (size_t idx : pending) {
-      Touch(ind).applied_rules.insert(idx);
-      ++kb_->stats_.rule_firings;
-      CLASSIC_OBS_COUNT(kRuleFirings);
-      Status st = MergeInto(ind, *kb_->rules_[idx].consequent);
-      if (!st.ok()) {
-        return st.WithContext(StrCat(
-            "firing rule on ",
-            kb_->vocab_->symbols().Name(
-                kb_->vocab_->concept_info(kb_->rules_[idx].antecedent_concept)
-                    .name)));
-      }
-    }
-    return Status::OK();
-  }
-
-  KnowledgeBase* kb_;
-  std::deque<IndId> worklist_;
-  std::set<IndId> queued_;
-  std::map<IndId, IndividualState> undo_;
-  std::vector<std::pair<NodeId, IndId>> instance_inserts_;
-  std::vector<std::pair<IndId, IndId>> refs_added_;
-};
 
 // ---------------------------------------------------------------------------
 // KnowledgeBase
@@ -314,6 +80,7 @@ KnowledgeBase::KnowledgeBase(const KnowledgeBase& other)
       instances_(other.instances_.Fork()),
       rules_on_node_(other.rules_on_node_.Fork()),
       rules_(other.rules_),
+      rules_mention_inds_(other.rules_mention_inds_),
       referenced_by_(other.referenced_by_.Fork()),
       stats_(other.stats_) {}
 
@@ -419,6 +186,12 @@ Result<size_t> KnowledgeBase::AssertRule(std::string_view antecedent_name,
   size_t idx = rules_.size();
   rules_.push_back({node, cid, consequent, nf});
   rules_on_node_.Mutable(node).push_back(idx);
+  // Latch the parallelism gate BEFORE firing: the immediate propagation
+  // below must already run serially if this consequent mentions
+  // individuals (see kb/propagate.h on why such rules defeat the
+  // component partition).
+  const bool gated_before = rules_mention_inds_;
+  if (MentionsIndividuals(*nf)) rules_mention_inds_ = true;
 
   // Fire immediately for current instances (complete propagation).
   std::vector<IndId> seeds(Instances(node).begin(), Instances(node).end());
@@ -427,6 +200,7 @@ Result<size_t> KnowledgeBase::AssertRule(std::string_view antecedent_name,
     if (!st.ok()) {
       rules_on_node_.Mutable(node).pop_back();
       rules_.pop_back();
+      rules_mention_inds_ = gated_before;
       return st.WithContext("rule rejected: firing it contradicts the DB");
     }
   }
@@ -465,10 +239,10 @@ Status KnowledgeBase::AssertInd(IndId ind, DescPtr expr) {
         StrCat("host individual ", vocab_->IndividualName(ind),
                " cannot be described (host individuals have no roles)"));
   }
-  PropagationEngine engine(this);
-  Status st = ApplyIndividualExpr(&engine, ind, expr);
+  Propagator prop(this, propagation_pool_);
+  Status st = ApplyIndividualExpr(&prop, ind, expr);
   if (!st.ok()) {
-    engine.Rollback();
+    prop.RollbackAll();
     return st;
   }
   MutableState(ind).asserted.push_back(expr);
@@ -476,34 +250,93 @@ Status KnowledgeBase::AssertInd(IndId ind, DescPtr expr) {
   return Status::OK();
 }
 
-namespace {
-
-/// Separates CLOSE conjuncts from the descriptive part of an individual
-/// expression. CLOSE may appear at the top level or under AND only (the
-/// parser forbids it under ALL already, and normalization would reject
-/// it).
-void SplitClose(const DescPtr& expr, std::vector<DescPtr>* rest,
-                std::vector<Symbol>* close_roles) {
-  if (expr->kind() == DescKind::kClose) {
-    close_roles->push_back(expr->role());
-    return;
-  }
-  if (expr->kind() == DescKind::kAnd) {
-    for (const DescPtr& c : expr->conjuncts()) {
-      SplitClose(c, rest, close_roles);
+Status KnowledgeBase::AssertIndBatch(
+    const std::vector<std::pair<IndId, DescPtr>>& batch) {
+  for (const auto& [ind, expr] : batch) {
+    if (ind >= vocab_->num_individuals()) {
+      return Status::NotFound(StrCat("no such individual id: ", ind));
     }
-    return;
+    if (!IsClassicIndividual(ind)) {
+      return Status::InvalidArgument(
+          StrCat("host individual ", vocab_->IndividualName(ind),
+                 " cannot be described (host individuals have no roles)"));
+    }
   }
-  rest->push_back(expr);
+
+  // Normalize every descriptive part up front, so the whole batch
+  // settles in one (partitionable) wavefront. CLOSE conjuncts are
+  // peeled off per entry and applied in batch order afterwards.
+  struct Entry {
+    IndId ind;
+    NormalFormPtr nf;  // null when the expression was pure CLOSE
+    std::vector<Symbol> close_roles;
+  };
+  Propagator prop(this, propagation_pool_);
+  const IndId inds_before = static_cast<IndId>(vocab_->num_individuals());
+  std::vector<Entry> entries;
+  std::vector<std::pair<IndId, NormalFormPtr>> merges;
+  entries.reserve(batch.size());
+  for (const auto& [ind, expr] : batch) {
+    Entry e;
+    e.ind = ind;
+    std::vector<DescPtr> rest;
+    SplitCloseConjuncts(expr, &rest, &e.close_roles);
+    if (!rest.empty()) {
+      DescPtr descriptive = rest.size() == 1 ? rest[0] : Description::And(rest);
+      CLASSIC_ASSIGN_OR_RETURN(
+          e.nf, normalizer_->NormalizeIndividualExpr(descriptive));
+      if (e.nf->incoherent()) {
+        ++stats_.rejected_updates;
+        return Status::Inconsistent(
+            StrCat("asserted expression for ", vocab_->IndividualName(ind),
+                   " is itself incoherent (",
+                   IncoherenceKindName(e.nf->incoherence_kind()),
+                   "): ", e.nf->incoherence_reason()));
+      }
+      merges.emplace_back(ind, e.nf);
+    }
+    entries.push_back(std::move(e));
+  }
+  // Host values interned by normalization need classification.
+  std::vector<IndId> seeds;
+  for (IndId i = inds_before; i < vocab_->num_individuals(); ++i) {
+    seeds.push_back(i);
+  }
+
+  Status st = prop.Run(seeds, merges);
+  for (const Entry& e : entries) {
+    if (!st.ok()) break;
+    for (Symbol role_name : e.close_roles) {
+      Result<RoleId> role = vocab_->FindRole(role_name);
+      if (!role.ok()) {
+        st = role.status();
+        break;
+      }
+      NormalForm close_nf;
+      RoleRestriction* rr = close_nf.MutableRole(*role, *vocab_);
+      rr->closed = true;
+      rr->fillers = StateRef(e.ind).derived->role(*role).fillers;
+      close_nf.Tighten(*vocab_);
+      st = prop.Run({}, {{e.ind, normalizer_->Freeze(std::move(close_nf))}});
+      if (!st.ok()) break;
+    }
+  }
+  if (!st.ok()) {
+    prop.RollbackAll();
+    return st;
+  }
+  for (const auto& [ind, expr] : batch) {
+    MutableState(ind).asserted.push_back(expr);
+    base_log_.push_back({ind, expr});
+  }
+  return Status::OK();
 }
 
-}  // namespace
-
-Status KnowledgeBase::ApplyIndividualExpr(PropagationEngine* engine, IndId ind,
+Status KnowledgeBase::ApplyIndividualExpr(Propagator* prop, IndId ind,
                                           const DescPtr& expr) {
   std::vector<DescPtr> rest;
   std::vector<Symbol> close_roles;
-  SplitClose(expr, &rest, &close_roles);
+  SplitCloseConjuncts(expr, &rest, &close_roles);
 
   const IndId inds_before = static_cast<IndId>(vocab_->num_individuals());
 
@@ -512,11 +345,6 @@ Status KnowledgeBase::ApplyIndividualExpr(PropagationEngine* engine, IndId ind,
         rest.size() == 1 ? rest[0] : Description::And(rest);
     CLASSIC_ASSIGN_OR_RETURN(
         NormalFormPtr nf, normalizer_->NormalizeIndividualExpr(descriptive));
-    // Normalization may have interned fresh host values; classify them so
-    // the instance indexes stay complete.
-    for (IndId i = inds_before; i < vocab_->num_individuals(); ++i) {
-      engine->Enqueue(i);
-    }
     if (nf->incoherent()) {
       ++stats_.rejected_updates;
       return Status::Inconsistent(
@@ -524,10 +352,15 @@ Status KnowledgeBase::ApplyIndividualExpr(PropagationEngine* engine, IndId ind,
                  IncoherenceKindName(nf->incoherence_kind()),
                  "): ", nf->incoherence_reason()));
     }
-    CLASSIC_RETURN_NOT_OK(engine->MergeInto(ind, *nf));
-    // Let the descriptive part (and its deductions) settle before any
+    // Normalization may have interned fresh host values; classify them
+    // (as extra seeds) so the instance indexes stay complete, and let
+    // the descriptive part (and its deductions) settle before any
     // closure fixes the extension.
-    CLASSIC_RETURN_NOT_OK(engine->Run());
+    std::vector<IndId> seeds;
+    for (IndId i = inds_before; i < vocab_->num_individuals(); ++i) {
+      seeds.push_back(i);
+    }
+    CLASSIC_RETURN_NOT_OK(prop->Run(seeds, {{ind, nf}}));
   }
 
   for (Symbol role_name : close_roles) {
@@ -537,8 +370,8 @@ Status KnowledgeBase::ApplyIndividualExpr(PropagationEngine* engine, IndId ind,
     rr->closed = true;
     rr->fillers = StateRef(ind).derived->role(role).fillers;
     close_nf.Tighten(*vocab_);
-    CLASSIC_RETURN_NOT_OK(engine->MergeInto(ind, close_nf));
-    CLASSIC_RETURN_NOT_OK(engine->Run());
+    CLASSIC_RETURN_NOT_OK(
+        prop->Run({}, {{ind, normalizer_->Freeze(std::move(close_nf))}}));
   }
   return Status::OK();
 }
@@ -587,20 +420,21 @@ Status KnowledgeBase::RederiveAll() {
   instances_.Clear();
   referenced_by_.Clear();
 
-  PropagationEngine engine(this);
+  Propagator prop(this, propagation_pool_);
   // Individuals with no assertions still need realization.
+  std::vector<IndId> seeds;
   for (size_t i = 0; i < states_.size(); ++i) {
     if (IsClassicIndividual(static_cast<IndId>(i))) {
-      engine.Enqueue(static_cast<IndId>(i));
+      seeds.push_back(static_cast<IndId>(i));
     }
   }
-  Status st = engine.Run();
+  Status st = prop.Run(seeds, {});
   for (size_t i = 0; i < base_log_.size(); ++i) {
     if (!st.ok()) break;
     // Copy the entry: replay re-enters propagation, which may path-copy
     // the chunk under a reference into it.
     const auto entry = base_log_[i];
-    st = ApplyIndividualExpr(&engine, entry.first, entry.second);
+    st = ApplyIndividualExpr(&prop, entry.first, entry.second);
   }
   if (!st.ok()) {
     return Status::Internal(
@@ -787,11 +621,75 @@ bool KnowledgeBase::SatisfiesImpl(
 }
 
 Status KnowledgeBase::Propagate(const std::vector<IndId>& seeds) {
-  PropagationEngine engine(this);
-  for (IndId i : seeds) engine.Enqueue(i);
-  Status st = engine.Run();
-  if (!st.ok()) engine.Rollback();
+  Propagator prop(this, propagation_pool_);
+  Status st = prop.Run(seeds, {});
+  if (!st.ok()) prop.RollbackAll();
   return st;
+}
+
+Status KnowledgeBase::Repropagate() { return Propagate(AllClassicIndividuals()); }
+
+std::string KnowledgeBase::CanonicalDerivedState() const {
+  // Everything rendered here is a deterministic function of stable ids:
+  // normal forms print id-sorted atom/filler/role sets, instance sets
+  // are ordered std::set<IndId>, and propagation interns no new ids
+  // (Meet/Tighten only combine existing ones) — so two runs that derive
+  // the same fixed point print the same bytes.
+  std::string out;
+  const IndId limit = num_visible_individuals();
+  for (IndId i = 0; i < limit; ++i) {
+    const IndividualState& st = StateRef(i);
+    out += vocab_->IndividualName(i);
+    out += " := ";
+    out += st.derived->ToString(*vocab_);
+    // ToString re-derives CLOSE from bounds where possible; pin the
+    // closed flags explicitly so closure state is always compared.
+    for (const auto& [role, rr] : st.derived->roles()) {
+      if (rr.closed) {
+        out += " [closed ";
+        out += vocab_->symbols().Name(vocab_->role(role).name);
+        out += "]";
+      }
+    }
+    out += " msc={";
+    bool first = true;
+    for (NodeId node : st.msc) {
+      for (ConceptId cid : taxonomy_.Synonyms(node)) {
+        if (!first) out += ",";
+        first = false;
+        out += vocab_->symbols().Name(vocab_->concept_info(cid).name);
+      }
+    }
+    out += "} rules={";
+    first = true;
+    for (size_t idx : st.applied_rules) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(idx);
+    }
+    out += "}\n";
+  }
+  for (NodeId node = 0; node < taxonomy_.num_nodes(); ++node) {
+    out += "node ";
+    out += std::to_string(node);
+    bool first = true;
+    out += " [";
+    for (ConceptId cid : taxonomy_.Synonyms(node)) {
+      if (!first) out += "/";
+      first = false;
+      out += vocab_->symbols().Name(vocab_->concept_info(cid).name);
+    }
+    out += "] instances={";
+    first = true;
+    for (IndId ind : Instances(node)) {
+      if (ind >= limit) continue;
+      if (!first) out += ",";
+      first = false;
+      out += vocab_->IndividualName(ind);
+    }
+    out += "}\n";
+  }
+  return out;
 }
 
 }  // namespace classic

@@ -50,6 +50,8 @@
 namespace classic {
 
 class PropagationEngine;
+class Propagator;
+class ThreadPool;
 
 /// \brief A forward-chaining rule: "if an individual is a <antecedent>
 /// then it is also a <consequent>" (paper Section 3.3). Rules are
@@ -175,10 +177,48 @@ class KnowledgeBase {
   /// unchanged.
   Status AssertInd(IndId ind, DescPtr expr);
 
+  /// \brief Bulk load: asserts many (individual, expression) pairs as
+  /// ONE atomic update. All descriptive parts are normalized up front
+  /// and settle together in a single propagation wavefront (which the
+  /// worklist engine can partition across a thread pool — see
+  /// SetPropagationPool); CLOSE conjuncts are then applied in batch
+  /// order against that settled state, so "the fillers known at that
+  /// moment" means after the whole batch's descriptive fixed point. Any
+  /// contradiction rejects the entire batch atomically.
+  Status AssertIndBatch(const std::vector<std::pair<IndId, DescPtr>>& batch);
+
   /// \brief Retracts a previously asserted expression (matched
   /// structurally) and re-derives the database from the remaining base
   /// assertions. The paper's announced "destructive update" facility.
   Status RetractInd(IndId ind, const DescPtr& expr);
+
+  /// \brief Installs (or clears, with nullptr) the pool the propagation
+  /// engine may schedule independent role-graph components on. The pool
+  /// is borrowed, not owned, and is used strictly *inside* one mutating
+  /// call — the single-writer discipline is unchanged. Serial and
+  /// pooled propagation derive byte-identical state (propagation is a
+  /// confluent fixed point; see kb/propagate.h).
+  void SetPropagationPool(ThreadPool* pool) { propagation_pool_ = pool; }
+  ThreadPool* propagation_pool() const { return propagation_pool_; }
+
+  /// \brief Re-runs propagation from every CLASSIC individual. The
+  /// derived state is already a fixed point, so this is a (cheap)
+  /// no-op on a consistent database — it exists so tools and tests can
+  /// drive the worklist engine over the full role graph on demand.
+  Status Repropagate();
+
+  /// \brief True iff some registered rule's consequent mentions
+  /// individuals (FILLS / ONE-OF); such rules can create role edges the
+  /// component partition cannot predict, so propagation stays serial.
+  bool rules_mention_individuals() const { return rules_mention_inds_; }
+
+  /// \brief A canonical, byte-comparable rendering of ALL derived
+  /// state: per individual the derived normal form, explicit closed
+  /// roles, most-specific concepts and fired rules; then every taxonomy
+  /// node's instance set. Two databases with the same vocabulary derive
+  /// the same string iff their assertional fixed points coincide — the
+  /// determinism harness diffs this across serial and parallel runs.
+  std::string CanonicalDerivedState() const;
 
   // --- Inspection ---------------------------------------------------------
 
@@ -242,8 +282,17 @@ class KnowledgeBase {
   /// the end individual if every step resolves.
   std::optional<IndId> ResolvePath(IndId start, const RolePath& path) const;
 
+  /// \brief Runs the worklist propagation engine from `seeds`
+  /// (deduplicated) to a fixed point; rolls back every touched
+  /// individual on inconsistency. Propagation is monotone, so seeding
+  /// already-settled individuals is a safe (and then cheap) no-op —
+  /// which is what makes this safe to expose: callers can only trigger
+  /// re-derivation, never invent assertions.
+  Status Propagate(const std::vector<IndId>& seeds);
+
  private:
   friend class PropagationEngine;
+  friend class Propagator;
 
   /// Clone() plumbing: the structure-sharing copy behind epoch publishes.
   KnowledgeBase(const KnowledgeBase& other);
@@ -255,18 +304,14 @@ class KnowledgeBase {
                      std::set<std::pair<IndId, const NormalForm*>>* guard)
       const;
 
-  /// Runs the propagation engine from `seeds` to a fixed point; rolls back
-  /// every touched individual on inconsistency.
-  Status Propagate(const std::vector<IndId>& seeds);
-
   /// Re-derives everything from base assertions (retraction support).
   Status RederiveAll();
 
-  /// Applies one asserted individual expression through `engine`. CLOSE
+  /// Applies one asserted individual expression through `prop`. CLOSE
   /// conjuncts are peeled off and applied against the state *after* the
   /// descriptive part has propagated: closing a role fixes its extension
   /// to the fillers known at that moment (Section 3.2).
-  Status ApplyIndividualExpr(PropagationEngine* engine, IndId ind,
+  Status ApplyIndividualExpr(Propagator* prop, IndId ind,
                              const DescPtr& expr);
 
   /// Normal form of what an individual intrinsically is (CLASSIC-THING,
@@ -315,6 +360,13 @@ class KnowledgeBase {
   mutable CowMap<NodeId, std::set<IndId>> instances_;
   mutable CowMap<NodeId, std::vector<size_t>> rules_on_node_;
   std::vector<Rule> rules_;
+  /// Latched when any rule consequent mentions individuals (see
+  /// rules_mention_individuals()); recomputed if a rule is rejected.
+  bool rules_mention_inds_ = false;
+  /// Borrowed worker pool for component-parallel propagation; nullptr =
+  /// always serial. Never copied into epoch clones (snapshots are
+  /// immutable and never propagate).
+  ThreadPool* propagation_pool_ = nullptr;
   /// Reverse filler index: who mentions ind as a filler (cascade
   /// reclassification).
   mutable CowMap<IndId, std::set<IndId>> referenced_by_;

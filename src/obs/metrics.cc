@@ -24,6 +24,10 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "publish-bytes-shared",
     "serve-accepted",
     "serve-shed",
+    "propagation-components",
+    "propagation-wavefronts",
+    "propagation-dedup-hits",
+    "propagation-max-wavefront",
 };
 
 constexpr const char* kOpNames[kNumOps] = {
@@ -37,6 +41,7 @@ constexpr const char* kOpNames[kNumOps] = {
     "mutate",
     "publish",
     "serve-queue-wait",
+    "propagate",
 };
 
 /// The engine-wide totals every thread flushes into. Plain namespace
@@ -67,6 +72,14 @@ std::optional<Op> OpFromName(std::string_view name) {
 }
 
 #if CLASSIC_OBS
+void CounterMaxTo(Counter c, uint64_t value) {
+  std::atomic<uint64_t>& total = g_totals[static_cast<size_t>(c)];
+  uint64_t cur = total.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !total.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
 void FlushLocalCounters() {
   internal::ThreadCounters& tls = internal::t_counters;
   for (size_t i = 0; i < kNumCounters; ++i) {

@@ -96,6 +96,19 @@ enum class Counter : uint32_t {
   /// in-flight bound, so the server answered with a typed `overloaded`
   /// error frame instead of queueing unboundedly.
   kServeShed,
+  /// Role-graph components scheduled by the propagation engine (1 per
+  /// serial run; the independent-component count per parallel run).
+  kPropagationComponents,
+  /// Wavefronts drained by the propagation engine (each individual is
+  /// re-derived at most once per wavefront).
+  kPropagationWavefronts,
+  /// Re-enqueues absorbed by the per-wavefront dirty bitset (and
+  /// duplicate seed ids dropped before scheduling) — work the worklist
+  /// engine deduplicated instead of re-running.
+  kPropagationDedupHits,
+  /// Watermark (not a sum): the largest single wavefront ever drained.
+  /// Maintained by CounterMaxTo directly on the global total.
+  kPropagationMaxWavefront,
   kCount
 };
 
@@ -129,6 +142,9 @@ enum class Op : uint32_t {
   /// Serving-front-end queue wait: decode of a request frame to the start
   /// of its batch dispatch (src/serve admission + batching delay).
   kServeQueueWait,
+  /// One propagation run to its fixed point (serial or partitioned),
+  /// excluding normalization of the asserted expression.
+  kPropagate,
   kCount
 };
 
@@ -174,10 +190,17 @@ inline void IncrCounter(Counter c, uint64_t n = 1) {
 /// CounterDeltaScope closes.
 void FlushLocalCounters();
 
+/// \brief Raises a *watermark* counter to at least `value` (CAS-max on
+/// the global total, bypassing the thread-local slabs — a max cannot be
+/// accumulated additively). Use only for counters documented as
+/// watermarks; ResetCounters zeroes them like any other.
+void CounterMaxTo(Counter c, uint64_t value);
+
 #else  // !CLASSIC_OBS
 
 inline void IncrCounter(Counter, uint64_t = 1) {}
 inline void FlushLocalCounters() {}
+inline void CounterMaxTo(Counter, uint64_t) {}
 
 #endif  // CLASSIC_OBS
 

@@ -1,0 +1,281 @@
+// Serial-vs-parallel propagation determinism harness.
+//
+// The contract under test (kb/propagate.h): partitioning a propagation
+// wavefront into weakly-connected components and scheduling them on a
+// thread pool changes only the *schedule*, never the *result*. Deduction
+// in CLASSIC is monotone over a bounded lattice (paper Section 5:
+// "every individual can move into a class at most once"), so the fixed
+// point is confluent — any admissible execution order lands on the same
+// derived state.
+//
+// The harness generates 200 seeded random knowledge bases across the
+// role-graph shapes the partitioner has to get right — chains, stars,
+// cliques, disconnected islands, uniform random graphs — spiked with
+// forward rules (including individual-mentioning consequents, which must
+// take the engine's serial gate), SAME-AS merges through single-valued
+// attributes, and deliberately contradictory bounds. Each KB is built
+// once serially and once per pool size {1, 2, 8}; every variant must
+// produce the same per-operation ok/fail verdicts, byte-identical
+// canonical derived state (derived normal forms, closed roles, MSC sets,
+// fired rules, instance indexes) and identical propagation-step counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "classic/database.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace classic {
+namespace {
+
+void Must(const Status& st) { ASSERT_TRUE(st.ok()) << st.ToString(); }
+
+enum class Shape { kChain, kStar, kClique, kIslands, kRandom };
+
+const Shape kShapes[] = {Shape::kChain, Shape::kStar, Shape::kClique,
+                         Shape::kIslands, Shape::kRandom};
+
+struct TrialSpec {
+  uint64_t seed = 0;
+  Shape shape = Shape::kChain;
+  bool with_rules = false;    // concept-consequent rules (parallel-safe)
+  bool with_ind_rule = false; // FILLS-consequent rule (forces serial gate)
+  bool use_bulk = false;      // one BulkAssert batch vs incremental asserts
+};
+
+struct TrialOutcome {
+  std::string ok_bits;  // '1'/'0' per operation, in program order
+  std::string dump;     // canonical derived state at the end
+  uint64_t steps = 0;   // KbStats::propagation_steps
+  bool all_ok() const { return ok_bits.find('0') == std::string::npos; }
+};
+
+// Role edges (from, to) over n individuals for one graph shape.
+std::vector<std::pair<size_t, size_t>> MakeEdges(Shape shape, size_t n,
+                                                 Rng* rng) {
+  std::vector<std::pair<size_t, size_t>> edges;
+  switch (shape) {
+    case Shape::kChain:
+      for (size_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+      break;
+    case Shape::kStar:
+      // Half the spokes point at the hub, half away: the component
+      // closure must glue both directions through referenced_by_.
+      for (size_t i = 1; i < n; ++i) {
+        if (i % 2 == 0) {
+          edges.emplace_back(0, i);
+        } else {
+          edges.emplace_back(i, 0);
+        }
+      }
+      break;
+    case Shape::kClique:
+      // Blocks of 5, all ordered pairs inside a block.
+      for (size_t lo = 0; lo < n; lo += 5) {
+        const size_t hi = std::min(lo + 5, n);
+        for (size_t i = lo; i < hi; ++i) {
+          for (size_t j = lo; j < hi; ++j) {
+            if (i != j) edges.emplace_back(i, j);
+          }
+        }
+      }
+      break;
+    case Shape::kIslands:
+      // Blocks of 4, a random in-block target per individual — many
+      // small components, the partitioner's best case.
+      for (size_t i = 0; i < n; ++i) {
+        const size_t lo = (i / 4) * 4;
+        const size_t hi = std::min(lo + 4, n);
+        edges.emplace_back(i, lo + rng->Below(hi - lo));
+      }
+      break;
+    case Shape::kRandom:
+      for (size_t i = 0; i < 2 * n; ++i) {
+        edges.emplace_back(rng->Below(n), rng->Below(n));
+      }
+      break;
+  }
+  return edges;
+}
+
+TrialOutcome RunTrial(const TrialSpec& spec, size_t threads) {
+  Database db;
+  if (threads > 0) db.EnableParallelPropagation(threads);
+  TrialOutcome out;
+
+  Rng rng(spec.seed);
+  // Small schema with enough structure for ALL-propagation, bounds,
+  // realization and attribute-driven merges.
+  for (int i = 0; i < 3; ++i) {
+    Must(db.DefineRole(StrCat("r", i)));
+  }
+  Must(db.DefineAttribute("a0"));
+  for (int i = 0; i < 4; ++i) {
+    Must(db.DefineConcept(StrCat("P", i),
+                          StrCat("(PRIMITIVE CLASSIC-THING p", i, ")")));
+  }
+  Must(db.DefineConcept("D0", "(AND P0 (ALL r0 P1))"));
+  Must(db.DefineConcept("D1", "(AND P1 (AT-LEAST 1 r1))"));
+  if (spec.with_rules) {
+    Must(db.AssertRule("P1", "(ALL r1 P2)"));
+    Must(db.AssertRule("P3", "D0"));
+  }
+
+  const size_t n = 16 + rng.Below(33);  // 16..48 individuals
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back(StrCat("I", i));
+    Must(db.CreateIndividual(names.back()));
+  }
+  if (spec.with_ind_rule) {
+    // The consequent mentions an individual, so firing it creates role
+    // edges no up-front partition can predict; the engine must fall
+    // back to serial — and still match byte-for-byte.
+    Must(db.AssertRule("P0", StrCat("(FILLS r1 ", names[0], ")")));
+  }
+
+  // Assertion program: shape edges plus sprinkled memberships, value
+  // restrictions, bounds (sometimes contradictory) and attribute fills
+  // (two distinct a0 fillers on one owner force a SAME-AS merge).
+  std::vector<std::pair<std::string, std::string>> program;
+  for (const auto& [from, to] : MakeEdges(spec.shape, n, &rng)) {
+    program.emplace_back(
+        names[from], StrCat("(FILLS r", rng.Below(2), " ", names[to], ")"));
+  }
+  for (const std::string& name : names) {
+    if (rng.Chance(0.6)) program.emplace_back(name, StrCat("P", rng.Below(4)));
+    if (rng.Chance(0.2)) program.emplace_back(name, "D0");
+    if (rng.Chance(0.15)) program.emplace_back(name, "(ALL r0 P1)");
+    if (rng.Chance(0.08)) {
+      // Tight bound: contradicts when the individual already carries
+      // more fillers. Both rejection and acceptance must be identical
+      // across schedules.
+      program.emplace_back(name, StrCat("(AT-MOST ", rng.Below(2), " r0)"));
+    }
+  }
+  for (int k = 0; k < 3; ++k) {
+    if (rng.Chance(0.5)) {
+      const std::string& owner = names[rng.Below(n)];
+      program.emplace_back(owner, StrCat("(FILLS a0 ", names[rng.Below(n)],
+                                         ")"));
+      program.emplace_back(owner, StrCat("(FILLS a0 ", names[rng.Below(n)],
+                                         ")"));
+    }
+  }
+  // Seed-driven order: determinism may not depend on assertion order
+  // being favorable.
+  for (size_t i = program.size(); i > 1; --i) {
+    std::swap(program[i - 1], program[rng.Below(i)]);
+  }
+
+  if (spec.use_bulk) {
+    out.ok_bits.push_back(db.BulkAssert(program).ok() ? '1' : '0');
+  } else {
+    for (const auto& [name, expr] : program) {
+      out.ok_bits.push_back(db.AssertInd(name, expr).ok() ? '1' : '0');
+    }
+  }
+  out.dump = db.kb().CanonicalDerivedState();
+  out.steps = db.kb().stats().propagation_steps;
+  return out;
+}
+
+TEST(PropagateDeterminism, SerialMatchesParallelAcross200RandomKbs) {
+  size_t trials = 0;
+  size_t rejections = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    for (Shape shape : kShapes) {
+      TrialSpec spec;
+      spec.seed = seed * 1000003;
+      spec.shape = shape;
+      spec.with_rules = (seed % 2) == 0;
+      spec.with_ind_rule = (seed % 8) == 0;
+      spec.use_bulk = (seed % 4) < 2;
+      const TrialOutcome serial = RunTrial(spec, 0);
+      if (HasFatalFailure()) return;
+      for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        const TrialOutcome par = RunTrial(spec, threads);
+        if (HasFatalFailure()) return;
+        const std::string where =
+            StrCat("seed=", spec.seed, " shape=",
+                   static_cast<int>(shape), " threads=", threads,
+                   spec.use_bulk ? " bulk" : " incremental");
+        ASSERT_EQ(serial.ok_bits, par.ok_bits) << where;
+        ASSERT_EQ(serial.dump, par.dump) << where;
+        // Step counts are schedule-independent on the success path
+        // (serial wave k is exactly the union of the components' wave
+        // k's). After a rejection, serial stops at the first
+        // contradiction while parallel lets sibling components finish
+        // their fixed points before rolling back, so only the *state*
+        // is pinned there, not the work counter.
+        if (serial.all_ok()) {
+          ASSERT_EQ(serial.steps, par.steps) << where;
+        }
+      }
+      if (!serial.all_ok()) ++rejections;
+      ++trials;
+    }
+  }
+  EXPECT_EQ(trials, 200u);
+  // The program generator must actually exercise the rollback path.
+  EXPECT_GT(rejections, 10u);
+}
+
+// Duplicate seeds in one wavefront used to cost a full re-derivation
+// each; the worklist engine dedupes them. Propagating {i, i, i} must do
+// exactly the work of propagating {i}.
+TEST(PropagateDeterminism, DuplicateSeedsAreDeduped) {
+  Database db;
+  Must(db.DefineRole("r0"));
+  Must(db.DefineConcept("P0", "(PRIMITIVE CLASSIC-THING p0)"));
+  Must(db.CreateIndividual("A"));
+  Must(db.CreateIndividual("B"));
+  Must(db.AssertInd("A", "(FILLS r0 B)"));
+  Must(db.AssertInd("A", "P0"));
+
+  auto ind = db.FindIndividual("A");
+  ASSERT_TRUE(ind.ok()) << ind.status().ToString();
+
+  KnowledgeBase& kb = db.kb();
+  const uint64_t before_single = kb.stats().propagation_steps;
+  Must(kb.Propagate({*ind}));
+  const uint64_t single = kb.stats().propagation_steps - before_single;
+  ASSERT_GT(single, 0u);
+
+  const uint64_t before_triple = kb.stats().propagation_steps;
+  Must(kb.Propagate({*ind, *ind, *ind}));
+  const uint64_t triple = kb.stats().propagation_steps - before_triple;
+  EXPECT_EQ(triple, single);
+}
+
+// Repropagate() from quiescence is a no-op on derived state: the fixed
+// point is already reached, serial or parallel.
+TEST(PropagateDeterminism, RepropagationIsIdempotent) {
+  for (size_t threads : {size_t{0}, size_t{4}}) {
+    Database db;
+    if (threads > 0) db.EnableParallelPropagation(threads);
+    Must(db.DefineRole("r0"));
+    Must(db.DefineConcept("P0", "(PRIMITIVE CLASSIC-THING p0)"));
+    Must(db.DefineConcept("D0", "(AND P0 (ALL r0 P0))"));
+    for (int i = 0; i < 12; ++i) {
+      Must(db.CreateIndividual(StrCat("I", i)));
+    }
+    for (int i = 0; i < 12; ++i) {
+      Must(db.AssertInd(StrCat("I", i),
+                        StrCat("(FILLS r0 I", (i + 1) % 12, ")")));
+    }
+    Must(db.AssertInd("I0", "D0"));
+    const std::string before = db.kb().CanonicalDerivedState();
+    Must(db.kb().Repropagate());
+    EXPECT_EQ(before, db.kb().CanonicalDerivedState()) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace classic
