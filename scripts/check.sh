@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CI-style gate: tier-1 build + full test suite, static analysis
-# (classic-lint over the shipped example programs, clang-tidy over src/
-# when installed), the observability gates (a -DCLASSIC_OBS=OFF build
+# (classic-lint over the shipped example programs, the seeded-defect
+# corpus staying red, the schema profile validated against
+# scripts/profile_schema.json plus byte-identity of --profile/--deps
+# across runs, and clang-tidy over src/ when installed — findings fail
+# the build), the observability gates (a -DCLASSIC_OBS=OFF build
 # proving the instrumentation compiles out cleanly, and classic_stats
 # --json validated against the golden schema), the serving gates (a
 # quick loadgen run checked against the BENCH_serving.json baseline, and
@@ -29,6 +32,30 @@ if [[ "$TSAN_ONLY" -eq 0 ]]; then
 
   echo "== lint: classic-lint over shipped example programs"
   ./build/tools/classic_lint examples/*.classic examples/*.clq
+
+  echo "== lint: seeded-defect fixtures must keep failing"
+  for f in examples/lint/*.classic; do
+    if ./build/tools/classic_lint "$f" > /dev/null 2>&1; then
+      echo "check.sh: $f lints clean but is a seeded-defect fixture" >&2
+      exit 1
+    fi
+  done
+
+  echo "== analyze: schema profile against the golden schema"
+  ./build/tools/classic_lint --profile examples/*.classic examples/*.clq \
+      examples/lint/*.classic |
+    python3 scripts/check_profile_schema.py
+
+  echo "== analyze: profile and deps output are byte-identical across runs"
+  ./build/tools/classic_lint --profile examples/*.classic > /tmp/profile.1
+  ./build/tools/classic_lint --profile examples/*.classic > /tmp/profile.2
+  cmp /tmp/profile.1 /tmp/profile.2
+  ./build/tools/classic_lint --deps examples/*.classic \
+      examples/lint/*.classic > /tmp/deps.1
+  ./build/tools/classic_lint --deps examples/*.classic \
+      examples/lint/*.classic > /tmp/deps.2
+  cmp /tmp/deps.1 /tmp/deps.2
+  rm -f /tmp/profile.1 /tmp/profile.2 /tmp/deps.1 /tmp/deps.2
 
   echo "== obs: classic_stats --json against the golden schema"
   ./build/tools/classic_stats --format=json examples/university.classic |
@@ -71,9 +98,10 @@ if [[ "$TSAN_ONLY" -eq 0 ]]; then
   ./build-noobs/tests/obs_stats_test
 
   if command -v clang-tidy > /dev/null 2>&1; then
-    echo "== lint: clang-tidy over src/"
+    echo "== lint: clang-tidy over src/ (findings fail the build)"
     find src -name '*.cc' -print0 |
-      xargs -0 -P "$JOBS" -n 4 clang-tidy -p build --quiet
+      xargs -0 -P "$JOBS" -n 4 clang-tidy -p build --quiet \
+        -warnings-as-errors='*'
   else
     echo "== lint: clang-tidy not installed, skipping"
   fi

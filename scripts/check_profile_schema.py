@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Golden schema check for `classic_lint --profile` output.
+
+Usage:
+    classic_lint --profile FILE... | scripts/check_profile_schema.py
+
+`--profile` prints one JSON object per input file (concatenated); this
+reads the whole stream. The key sets come from scripts/profile_schema.json
+and are checked exactly in both directions — a field added to the profile
+without updating the schema fails CI, because the profile is a published
+contract for query planners. On top of shape, the internal invariants
+that make the profile usable are enforced: selectivities lie in [0, 1]
+and are 0 exactly when the concept is doomed, summary counts match the
+arrays they summarize, rule references are in range, strata and depths
+respect the summary bounds, and cardinality bounds are consistent.
+
+Exit status: 0 = conforming, 1 = violation, 2 = unreadable input.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "profile_schema.json")
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def check_keys(obj, where, expected):
+    if not isinstance(obj, dict):
+        err(f"{where}: not an object")
+        return False
+    for missing in sorted(set(expected) - set(obj)):
+        err(f"{where}: missing key {missing!r}")
+    for extra in sorted(set(obj) - set(expected)):
+        err(f"{where}: unknown key {extra!r} (update profile_schema.json?)")
+    return set(obj) == set(expected)
+
+
+def check_concept(c, where, schema, num_rules):
+    if not check_keys(c, where, schema["concept_keys"]):
+        return
+    sel = c["selectivity"]
+    if not isinstance(sel, (int, float)) or not 0 <= sel <= 1:
+        err(f"{where}: selectivity {sel!r} outside [0, 1]")
+    if c["doomed"] != (sel == 0):
+        err(f"{where}: doomed={c['doomed']} but selectivity={sel}")
+    for r in c["rules_fired"]:
+        if not isinstance(r, int) or not 1 <= r <= num_rules:
+            err(f"{where}: rules_fired entry {r!r} out of range")
+    for j, role in enumerate(c["roles"]):
+        rwhere = f"{where}.roles[{j}]"
+        if not check_keys(role, rwhere, schema["role_keys"]):
+            continue
+        lo, hi = role["at_least"], role["at_most"]
+        if not isinstance(lo, int) or lo < 0:
+            err(f"{rwhere}: at_least {lo!r} is not a non-negative integer")
+        if hi is not None and (not isinstance(hi, int) or hi < lo):
+            err(f"{rwhere}: at_most {hi!r} below at_least {lo}")
+
+
+def check_profile(profile, idx, schema):
+    where = f"profile[{idx}]"
+    if not check_keys(profile, where, schema["top_keys"]):
+        return
+    if profile["version"] != schema["version"]:
+        err(f"{where}: version {profile['version']} != {schema['version']}")
+
+    summary = profile["summary"]
+    if not check_keys(summary, f"{where}.summary", schema["summary_keys"]):
+        return
+    concepts, rules = profile["concepts"], profile["rules"]
+    if summary["num_concepts"] != len(concepts):
+        err(f"{where}: num_concepts {summary['num_concepts']} != "
+            f"{len(concepts)} concepts")
+    if summary["num_rules"] != len(rules):
+        err(f"{where}: num_rules {summary['num_rules']} != {len(rules)} rules")
+
+    for i, c in enumerate(concepts):
+        check_concept(c, f"{where}.concepts[{i}]", schema, len(rules))
+    for i, r in enumerate(rules):
+        rwhere = f"{where}.rules[{i}]"
+        if not check_keys(r, rwhere, schema["rule_keys"]):
+            continue
+        if r["rule"] != i + 1:
+            err(f"{rwhere}: rule number {r['rule']} != {i + 1}")
+        if not 0 <= r["stratum"] < max(summary["num_strata"], 1):
+            err(f"{rwhere}: stratum {r['stratum']} outside "
+                f"[0, {summary['num_strata']})")
+        if r["depth"] > summary["max_rule_depth"]:
+            err(f"{rwhere}: depth {r['depth']} exceeds max_rule_depth "
+                f"{summary['max_rule_depth']}")
+
+
+def main():
+    with open(SCHEMA_PATH) as f:
+        schema = json.load(f)
+    text = sys.stdin.read()
+    decoder = json.JSONDecoder()
+    profiles, pos = [], 0
+    while pos < len(text):
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+        if pos >= len(text):
+            break
+        try:
+            obj, pos = decoder.raw_decode(text, pos)
+        except json.JSONDecodeError as e:
+            print(f"check_profile_schema: unparsable input: {e}",
+                  file=sys.stderr)
+            return 2
+        profiles.append(obj)
+    if not profiles:
+        print("check_profile_schema: no profiles on stdin", file=sys.stderr)
+        return 2
+
+    for i, profile in enumerate(profiles):
+        check_profile(profile, i, schema)
+
+    if errors:
+        for e in errors:
+            print(f"check_profile_schema: {e}", file=sys.stderr)
+        return 1
+    print(f"check_profile_schema: {len(profiles)} profile(s) conform")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+#include "analyze/abstract_domain.h"
+
+#include <utility>
+
+#include "subsume/subsume.h"
+
+namespace classic::analyze {
+
+RuleClosure CloseUnderRules(const NormalFormPtr& start,
+                            const KnowledgeBase& kb, SubsumptionIndex* index,
+                            size_t skip_rule) {
+  const Vocabulary& vocab = kb.vocab();
+  const std::vector<classic::Rule>& rules = kb.rules();
+
+  RuleClosure out;
+  out.state = start;
+  if (start == nullptr) return out;
+  if (start->incoherent()) {
+    out.incoherent = true;
+    return out;
+  }
+
+  std::vector<bool> has_fired(rules.size(), false);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (i == skip_rule || has_fired[i]) continue;
+      const NormalFormPtr& ant =
+          vocab.concept_info(rules[i].antecedent_concept).normal_form;
+      if (ant == nullptr || ant->incoherent()) continue;
+      if (!Subsumes(*ant, *out.state, index)) continue;
+      NormalFormPtr next =
+          MeetNormalForms(*out.state, *rules[i].consequent, vocab);
+      if (next->incoherent()) {
+        // A locally dead rule (C004: antecedent ⊓ consequent is already
+        // incoherent) collapses every state it fires on; that defect is
+        // reported per-rule, so the closure excludes it rather than
+        // blaming every concept below the antecedent.
+        NormalFormPtr local =
+            MeetNormalForms(*ant, *rules[i].consequent, vocab);
+        if (local->incoherent()) {
+          has_fired[i] = true;  // never reconsider
+          continue;
+        }
+      }
+      has_fired[i] = true;
+      out.fired.push_back(i);
+      progress = true;
+      out.state = std::move(next);
+      if (out.state->incoherent()) {
+        out.incoherent = true;
+        out.blame_rule = i;
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+AbstractSchema ComputeAbstractSchema(const KnowledgeBase& kb,
+                                     SubsumptionIndex* index) {
+  const Vocabulary& vocab = kb.vocab();
+  AbstractSchema out;
+  out.summaries.resize(vocab.num_concepts());
+
+  // Filler-domain emptiness, memoized per interned NfId (value
+  // restrictions are interned store forms, widely shared across
+  // concepts).
+  std::map<NfId, bool> vr_empty;
+  auto filler_domain_empty = [&](const NormalFormPtr& vr) {
+    if (vr == nullptr || vr->IsThing()) return false;
+    const NfId id = vr->interned_id();
+    if (id != kNoNfId) {
+      auto it = vr_empty.find(id);
+      if (it != vr_empty.end()) return it->second;
+    }
+    bool empty = CloseUnderRules(vr, kb, index).incoherent;
+    if (id != kNoNfId) vr_empty.emplace(id, empty);
+    return empty;
+  };
+
+  for (ConceptId cid = 0; cid < vocab.num_concepts(); ++cid) {
+    const NormalFormPtr& nf = vocab.concept_info(cid).normal_form;
+    ConceptSummary& summary = out.summaries[cid];
+    summary.closure = CloseUnderRules(nf, kb, index);
+    if (summary.closure.state == nullptr || summary.closure.incoherent) {
+      continue;
+    }
+    for (const auto& [rid, rr] : summary.closure.state->roles()) {
+      RoleDomain dom;
+      dom.rid = rid;
+      dom.role = vocab.symbols().Name(vocab.role(rid).name);
+      dom.at_least = rr.at_least;
+      dom.at_most = rr.at_most;
+      dom.closed = rr.closed;
+      dom.value_restriction = rr.value_restriction;
+      dom.filler_domain_empty = filler_domain_empty(rr.value_restriction);
+      summary.roles.push_back(std::move(dom));
+    }
+  }
+  return out;
+}
+
+}  // namespace classic::analyze

@@ -1,0 +1,106 @@
+// Abstract interpretation of the rule system over the normal-form domain.
+//
+// The analyzer's abstract state for "an arbitrary instance of concept C"
+// is simply a normal form: the most general description every such
+// instance is known to satisfy. The transfer function is rule firing —
+// whenever a rule's antecedent subsumes the state, the consequent is met
+// in — iterated to a fixed point. Because each rule fires at most once
+// per individual (paper, Section 3.3) and every firing only tightens the
+// state, the fixpoint is reached after at most |rules| firings and is
+// exact, not an approximation: it is the full derived state the KB would
+// compute for a bare instance of C.
+//
+// The per-(concept, role) filler domains fall out of the closure: the
+// closed state's role records carry the intersected number restrictions,
+// ALL-restriction bounds and host-value constraints folded through
+// inheritance (the concept's normal form already meets in everything
+// named parents contribute) and through every rule consequent that
+// applies. The interaction passes (C013-C018) read these closures; the
+// --profile mode serializes them.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "desc/normal_form.h"
+#include "kb/knowledge_base.h"
+#include "subsume/subsume_index.h"
+
+namespace classic::analyze {
+
+/// Sentinel rule index: "no rule" (blame for a state that was already
+/// incoherent before any rule fired, or the skip parameter's "skip none").
+inline constexpr size_t kNoRule = static_cast<size_t>(-1);
+
+/// \brief Result of closing a state under the rule system.
+struct RuleClosure {
+  /// The fixpoint state (meet of the start state and every applicable
+  /// consequent). Always non-null; incoherent when the rules doom every
+  /// individual recognized as the start state.
+  NormalFormPtr state;
+  /// Rules that fired, in firing order (indices into kb.rules()).
+  std::vector<size_t> fired;
+  /// True when `state` is incoherent.
+  bool incoherent = false;
+  /// The rule whose firing collapsed the state (kNoRule when the start
+  /// state itself was already incoherent, or when coherent).
+  size_t blame_rule = kNoRule;
+};
+
+/// \brief Closes `start` under `kb`'s rules: repeatedly fires every rule
+/// whose antecedent subsumes the current state (lowest rule index first),
+/// each at most once, until nothing more applies or the state collapses.
+/// `skip_rule` (a rule index, or kNoRule) is excluded from firing — the
+/// never-firing-rule pass closes a rule's antecedent under *the other*
+/// rules. `index` memoizes subsumption probes; may be null.
+RuleClosure CloseUnderRules(const NormalFormPtr& start,
+                            const KnowledgeBase& kb, SubsumptionIndex* index,
+                            size_t skip_rule = kNoRule);
+
+/// \brief The abstract filler domain of one role of one concept, read off
+/// the concept's closed state.
+struct RoleDomain {
+  RoleId rid = 0;
+  /// Role name (display / profile key).
+  std::string role;
+  /// Intersected number restrictions after closure.
+  uint32_t at_least = 0;
+  uint32_t at_most = kUnbounded;
+  bool closed = false;
+  /// Value restriction every filler must satisfy (null = THING). This is
+  /// the abstract filler domain: atoms carry host-value ranges (INTEGER,
+  /// STRING, ...) and concept bounds folded from every applicable ALL.
+  NormalFormPtr value_restriction;
+  /// True when the filler domain itself is doomed: the value restriction,
+  /// closed under the rules in turn, is incoherent — so no individual can
+  /// ever legally fill the role.
+  bool filler_domain_empty = false;
+};
+
+/// \brief Closure + per-role domains for one concept.
+struct ConceptSummary {
+  RuleClosure closure;
+  /// One entry per role the closed state constrains, sorted by RoleId.
+  /// Empty when the closure is incoherent (every domain is trivially
+  /// empty then).
+  std::vector<RoleDomain> roles;
+};
+
+/// \brief Whole-schema abstract interpretation: the closure and filler
+/// domains of every named concept.
+struct AbstractSchema {
+  /// summaries[cid] for every ConceptId of the vocabulary. Concepts with
+  /// no normal form (never defined) have a null closure state.
+  std::vector<ConceptSummary> summaries;
+};
+
+/// \brief Runs the abstract interpretation over every named concept.
+/// Filler-domain closures are memoized per interned NfId, so shared
+/// value restrictions are closed once.
+AbstractSchema ComputeAbstractSchema(const KnowledgeBase& kb,
+                                     SubsumptionIndex* index);
+
+}  // namespace classic::analyze

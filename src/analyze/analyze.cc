@@ -6,6 +6,8 @@
 #include <set>
 #include <string>
 
+#include "analyze/interaction_passes.h"
+#include "analyze/pass_util.h"
 #include "desc/normal_form.h"
 #include "subsume/subsume.h"
 #include "util/string_util.h"
@@ -13,34 +15,6 @@
 namespace classic::analyze {
 
 namespace {
-
-std::string SymName(const PassContext& ctx, Symbol s) {
-  return ctx.kb.vocab().symbols().Name(s);
-}
-
-std::string ConceptName(const PassContext& ctx, ConceptId cid) {
-  return SymName(ctx, ctx.kb.vocab().concept_info(cid).name);
-}
-
-/// Definition site of a named concept; degrades to "file only" and then
-/// to "no position" when the program (or the name) is unavailable.
-SourceLocation ConceptSite(const PassContext& ctx, const std::string& name) {
-  if (ctx.program != nullptr) {
-    auto it = ctx.program->concept_sites.find(name);
-    if (it != ctx.program->concept_sites.end()) return it->second;
-    return {ctx.program->file, 0, 0};
-  }
-  return {};
-}
-
-SourceLocation RuleSite(const PassContext& ctx, size_t rule_index) {
-  if (ctx.program != nullptr &&
-      rule_index < ctx.program->rule_sites.size()) {
-    return ctx.program->rule_sites[rule_index];
-  }
-  return ctx.program != nullptr ? SourceLocation{ctx.program->file, 0, 0}
-                                : SourceLocation{};
-}
 
 /// The s-expression body of a concept's define-concept form, when the
 /// program is available and the form has the expected shape.
@@ -406,9 +380,17 @@ void PassVacuous(const PassContext& ctx, std::vector<Diagnostic>* out) {
 
 const std::vector<Pass>& StandardPasses() {
   static const std::vector<Pass> kPasses = {
-      {"incoherence", PassIncoherence}, {"redundancy", PassRedundancy},
-      {"duplicates", PassDuplicates},   {"rules", PassRules},
-      {"unused", PassUnused},           {"vacuous", PassVacuous},
+      {"incoherence", PassIncoherence},
+      {"redundancy", PassRedundancy},
+      {"duplicates", PassDuplicates},
+      {"rules", PassRules},
+      {"unused", PassUnused},
+      {"vacuous", PassVacuous},
+      // Whole-program passes (analyze v2): dependency graph first (its
+      // SchemaGraph is cached on the context for the closure passes).
+      {"dependency-graph", PassDependencyGraph},
+      {"interaction", PassInteraction},
+      {"rule-interaction", PassRuleInteraction},
   };
   return kPasses;
 }

@@ -17,10 +17,13 @@
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "analyze/abstract_domain.h"
 #include "analyze/diagnostics.h"
 #include "analyze/program.h"
+#include "analyze/schema_graph.h"
 #include "kb/epoch.h"
 #include "kb/knowledge_base.h"
 #include "subsume/subsume_index.h"
@@ -39,6 +42,28 @@ struct PassContext {
   Normalizer* precise;
   /// Scratch memo for the subsumption-heavy passes.
   SubsumptionIndex* index;
+
+  /// \brief The rule dependency graph, built on first use and shared by
+  /// every pass in the run (the --deps/--profile renderers use it too).
+  const SchemaGraph& graph() const {
+    if (graph_cache == nullptr) {
+      graph_cache = std::make_unique<SchemaGraph>(BuildSchemaGraph(kb, index));
+    }
+    return *graph_cache;
+  }
+
+  /// \brief The whole-schema abstract interpretation (rule closures and
+  /// per-role filler domains), built on first use.
+  const AbstractSchema& abstract() const {
+    if (abstract_cache == nullptr) {
+      abstract_cache =
+          std::make_unique<AbstractSchema>(ComputeAbstractSchema(kb, index));
+    }
+    return *abstract_cache;
+  }
+
+  mutable std::unique_ptr<SchemaGraph> graph_cache;
+  mutable std::unique_ptr<AbstractSchema> abstract_cache;
 };
 
 /// \brief One analysis pass: a named function from context to findings.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 #include <tuple>
 
 #include "util/string_util.h"
@@ -41,6 +42,29 @@ const RuleInfo& GetRuleInfo(Rule rule) {
        "fillers"},
       {"C011", "invalid-operation", Severity::kError,
        "an operation was rejected by the database (or is unknown)"},
+      {"C012", "rule-dependency-cycle", Severity::kWarning,
+       "a chain of rules propagates through role fillers back to itself"},
+      {"C013", "interaction-incoherence", Severity::kError,
+       "every instance of a coherent concept becomes inconsistent once "
+       "the schema's rules fire"},
+      {"C014", "dead-all", Severity::kWarning,
+       "a value restriction can never apply: the schema's rules force "
+       "its role to zero fillers"},
+      {"C015", "never-firing-rule", Severity::kError,
+       "a rule can never fire cleanly: the other rules already doom "
+       "every instance of its antecedent"},
+      {"C016", "empty-filler-domain", Severity::kError,
+       "a role must have fillers but its abstract filler domain is "
+       "empty under the schema's rules"},
+      {"C017", "conflicting-rules", Severity::kError,
+       "two rules firing on a common antecedent have contradictory "
+       "consequents"},
+      {"C018", "redundant-rule", Severity::kWarning,
+       "a rule's consequent is already derived by the other rules on "
+       "its antecedent"},
+      {"C019", "excessive-rule-depth", Severity::kWarning,
+       "an acyclic rule chain is deeper than the propagation-depth "
+       "budget"},
   };
   return kCatalog[static_cast<size_t>(rule)];
 }
@@ -53,17 +77,29 @@ const std::vector<Rule>& AllRules() {
       Rule::kRuleCycle,          Rule::kUndefinedReference,
       Rule::kUnusedDefinition,   Rule::kVacuousSameAs,
       Rule::kVacuousRestriction, Rule::kInvalidOperation,
+      Rule::kRuleDependencyCycle,
+      Rule::kInteractionIncoherence,
+      Rule::kDeadAll,            Rule::kNeverFiringRule,
+      Rule::kEmptyFillerDomain,  Rule::kConflictingRules,
+      Rule::kRedundantRule,      Rule::kExcessiveRuleDepth,
   };
   return kAll;
 }
 
 void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  // Position first; then the *catalog id string* (not the enum ordinal,
+  // so the order is pinned to the published "C0xx" ids), then message,
+  // then subject. Two diagnostics produced by different passes at one
+  // (file, line, column) therefore sort the same way no matter which
+  // pass ran first — goldens are schedule-invariant.
   std::sort(diags->begin(), diags->end(),
             [](const Diagnostic& a, const Diagnostic& b) {
+              std::string_view aid = GetRuleInfo(a.rule).id;
+              std::string_view bid = GetRuleInfo(b.rule).id;
               return std::tie(a.loc.file, a.loc.line, a.loc.column,
-                              a.rule, a.subject, a.message) <
+                              aid, a.message, a.subject) <
                      std::tie(b.loc.file, b.loc.line, b.loc.column,
-                              b.rule, b.subject, b.message);
+                              bid, b.message, b.subject);
             });
   // Passes are independent and may re-derive the same finding; one copy
   // is enough.

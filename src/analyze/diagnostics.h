@@ -38,6 +38,17 @@ enum class Rule {
   kVacuousSameAs,       // C009: SAME-AS path through an AT-MOST 0 role
   kVacuousRestriction,  // C010: ALL restriction on an AT-MOST 0 role
   kInvalidOperation,    // C011: operation rejected by the database
+  // --- Whole-program diagnostics (analyze v2; DESIGN.md section 13).
+  // Everything below needs the rule dependency graph or the abstract
+  // rule-closure domain: no single definition exhibits the defect.
+  kRuleDependencyCycle,  // C012: rule cycle through role fillers
+  kInteractionIncoherence,  // C013: rules doom every instance of a concept
+  kDeadAll,              // C014: rules force an ALL's role to 0 fillers
+  kNeverFiringRule,      // C015: other rules doom the rule's antecedent
+  kEmptyFillerDomain,    // C016: required fillers have an empty domain
+  kConflictingRules,     // C017: co-firing rules with contradictory consequents
+  kRedundantRule,        // C018: consequent already derived by other rules
+  kExcessiveRuleDepth,   // C019: acyclic rule chain deeper than the budget
 };
 
 struct RuleInfo {
@@ -72,8 +83,12 @@ struct Diagnostic {
   Severity severity() const { return GetRuleInfo(rule).severity; }
 };
 
-/// \brief Canonical order: (file, line, column, rule id, subject,
-/// message). Every analysis entry point sorts before returning.
+/// \brief Canonical order: (file, line, column), then rule id, then
+/// message, then subject. The rule-id/message tie-break makes the order
+/// invariant under pass scheduling: two findings from different passes
+/// that share a source position always land in catalog order, never in
+/// pass-execution order. Every analysis entry point sorts before
+/// returning.
 void SortDiagnostics(std::vector<Diagnostic>* diags);
 
 /// \brief "file:line:col: severity: message [C001 incoherent-concept]".

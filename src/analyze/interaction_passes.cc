@@ -1,0 +1,250 @@
+#include "analyze/interaction_passes.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/abstract_domain.h"
+#include "analyze/pass_util.h"
+#include "analyze/schema_graph.h"
+#include "subsume/subsume.h"
+#include "util/string_util.h"
+
+namespace classic::analyze {
+
+namespace {
+
+std::string RuleLabel(const SchemaGraph& g, size_t rule) {
+  return StrCat("rule #", rule + 1, " on ", g.rule_names[rule]);
+}
+
+/// "rule #2 on EMPLOYEE (file:3:1)" — the cross-reference format every
+/// interaction diagnostic uses for its second contributing position.
+std::string RuleRef(const PassContext& ctx, const SchemaGraph& g,
+                    size_t rule) {
+  return StrCat(RuleLabel(g, rule), " (", FormatSite(RuleSite(ctx, rule)),
+                ")");
+}
+
+}  // namespace
+
+// --- C012/C019: dependency-graph checks ----------------------------------
+
+void PassDependencyGraph(const PassContext& ctx,
+                         std::vector<Diagnostic>* out) {
+  const SchemaGraph& g = ctx.graph();
+
+  // C012: cycles with at least one internal filler edge. Pure
+  // same-individual cycles are C006 (the local rule pass); a cycle that
+  // crosses a role edge is invisible to that per-rule relation, so it is
+  // reported here with the full path.
+  for (size_t c = 0; c < g.sccs.size(); ++c) {
+    if (!g.IsCycle(c) || !g.scc_has_filler_edge[c]) continue;
+    std::string path = CyclePath(g, c);
+    for (size_t w : g.sccs[c]) {
+      out->push_back(
+          {Rule::kRuleDependencyCycle, RuleSite(ctx, w), g.rule_names[w],
+           StrCat(RuleLabel(g, w),
+                  " participates in a propagation cycle through role "
+                  "fillers (",
+                  path,
+                  "); each rule still fires at most once per individual, "
+                  "but derived descriptions keep flowing along the cycle's "
+                  "role edges")});
+    }
+  }
+
+  // C019: acyclic chains deeper than the budget. Only the chain's sink
+  // rules report (an SCC with no outgoing condensation edge), so a chain
+  // of depth k yields one finding, not k - budget of them. Cyclic sinks
+  // are excluded: C006/C012 already own those rules.
+  std::vector<bool> has_out(g.sccs.size(), false);
+  for (const DepEdge& e : g.edges) {
+    if (g.scc_of[e.from] != g.scc_of[e.to]) has_out[g.scc_of[e.from]] = true;
+  }
+  for (size_t c = 0; c < g.sccs.size(); ++c) {
+    if (has_out[c] || g.IsCycle(c)) continue;
+    for (size_t w : g.sccs[c]) {
+      if (g.depth[w] <= kDefaultMaxRuleChain) continue;
+      out->push_back(
+          {Rule::kExcessiveRuleDepth, RuleSite(ctx, w), g.rule_names[w],
+           StrCat(RuleLabel(g, w), " ends a rule chain ", g.depth[w],
+                  " firings deep (stratum ", g.strata[w] + 1, " of ",
+                  g.num_strata,
+                  "): one assertion can cascade through that many rule "
+                  "firings; the chain budget is ",
+                  kDefaultMaxRuleChain)});
+    }
+  }
+}
+
+// --- C013/C014/C016: concept-centric interaction checks ------------------
+
+void PassInteraction(const PassContext& ctx, std::vector<Diagnostic>* out) {
+  const Vocabulary& vocab = ctx.kb.vocab();
+  const SchemaGraph& g = ctx.graph();
+  const AbstractSchema& abs = ctx.abstract();
+
+  for (ConceptId cid = 0; cid < vocab.num_concepts(); ++cid) {
+    const ConceptInfo& info = vocab.concept_info(cid);
+    if (info.normal_form == nullptr || info.normal_form->incoherent()) {
+      continue;  // C001 owns incoherent definitions
+    }
+    const ConceptSummary& summary = abs.summaries[cid];
+    const RuleClosure& cl = summary.closure;
+    std::string name = ConceptName(ctx, cid);
+
+    // C013: the definition is satisfiable, but closing it under the
+    // rules collapses — the interaction (often an inherited rule meeting
+    // a local AT-MOST) dooms every instance.
+    if (cl.incoherent) {
+      out->push_back(
+          {Rule::kInteractionIncoherence, ConceptSite(ctx, name), name,
+           StrCat("concept ", name,
+                  " is satisfiable in isolation, but the rules make every "
+                  "instance inconsistent: firing ",
+                  RuleRef(ctx, g, cl.blame_rule), " collapses the state (",
+                  IncoherenceKindName(cl.state->incoherence_kind()),
+                  "): ", cl.state->incoherence_reason())});
+      continue;  // the closed state is bottom; no domains to inspect
+    }
+
+    // C014: an ALL restriction in the definition whose role the rules
+    // force to AT-MOST 0 fillers on every instance. The local vacuous
+    // check (C010) owns the case where the definition itself says
+    // AT-MOST 0.
+    for (const auto& [rid, rr] : info.normal_form->roles()) {
+      if (rr.value_restriction == nullptr ||
+          rr.value_restriction->IsThing() || rr.at_most == 0) {
+        continue;
+      }
+      if (cl.state->role(rid).at_most != 0) continue;
+      // Replay the closure to name the rule that zeroed the bound.
+      size_t blame = kNoRule;
+      NormalFormPtr state = info.normal_form;
+      for (size_t b : cl.fired) {
+        state = MeetNormalForms(*state, *ctx.kb.rules()[b].consequent, vocab);
+        if (state->role(rid).at_most == 0) {
+          blame = b;
+          break;
+        }
+      }
+      std::string role_name = SymName(ctx, vocab.role(rid).name);
+      out->push_back(
+          {Rule::kDeadAll, ConceptSite(ctx, name), name,
+           StrCat("value restriction (ALL ", role_name, " ...) in concept ",
+                  name, " can never apply: ",
+                  blame != kNoRule ? RuleRef(ctx, g, blame)
+                                   : std::string("the rules"),
+                  " force", blame != kNoRule ? "s" : "", " AT-MOST 0 ",
+                  role_name, " fillers on every instance")});
+    }
+
+    // C016: the concept requires fillers on a role whose abstract filler
+    // domain is empty — the value restriction, itself closed under the
+    // rules, is unsatisfiable, so nothing can legally fill the role.
+    for (const RoleDomain& dom : summary.roles) {
+      if (dom.at_least == 0 || !dom.filler_domain_empty) continue;
+      out->push_back(
+          {Rule::kEmptyFillerDomain, ConceptSite(ctx, name), name,
+           StrCat("concept ", name, " requires at least ", dom.at_least, " ",
+                  dom.role, " filler", dom.at_least > 1 ? "s" : "",
+                  ", but the filler domain is empty: the rules make every "
+                  "individual satisfying (ALL ",
+                  dom.role, " ...) inconsistent")});
+    }
+  }
+}
+
+// --- C015/C017/C018: rule-centric interaction checks ---------------------
+
+void PassRuleInteraction(const PassContext& ctx,
+                         std::vector<Diagnostic>* out) {
+  const Vocabulary& vocab = ctx.kb.vocab();
+  const std::vector<classic::Rule>& rules = ctx.kb.rules();
+  const SchemaGraph& g = ctx.graph();
+
+  std::vector<NormalFormPtr> ants(rules.size());
+  std::vector<NormalFormPtr> cons(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    ants[i] = vocab.concept_info(rules[i].antecedent_concept).normal_form;
+    cons[i] = rules[i].consequent;
+  }
+
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (g.fired[i] == nullptr) continue;  // C004 owns locally dead rules
+
+    // C015 / C018 share the same closure: the rule's antecedent closed
+    // under every OTHER rule.
+    RuleClosure cl = CloseUnderRules(ants[i], ctx.kb, ctx.index, i);
+    if (cl.incoherent) {
+      // C015: by the time an individual is recognized as the antecedent,
+      // the other rules have already made it inconsistent — this rule
+      // never fires on a consistent individual.
+      out->push_back(
+          {Rule::kNeverFiringRule, RuleSite(ctx, i), g.rule_names[i],
+           StrCat(RuleLabel(g, i),
+                  " can never fire on a consistent individual: ",
+                  RuleRef(ctx, g, cl.blame_rule), " already dooms every ",
+                  g.rule_names[i], " instance (",
+                  IncoherenceKindName(cl.state->incoherence_kind()),
+                  "): ", cl.state->incoherence_reason())});
+    } else if (!cl.fired.empty() && Subsumes(*cons[i], *cl.state, ctx.index) &&
+               !Subsumes(*cons[i], *ants[i], ctx.index)) {
+      // C018: the other rules already derive this rule's consequent (and
+      // the antecedent alone does not — that case is C005's no-op).
+      // Replay the closure to name the firing that completed the
+      // derivation.
+      size_t blame = cl.fired.front();
+      NormalFormPtr state = ants[i];
+      for (size_t b : cl.fired) {
+        state = MeetNormalForms(*state, *rules[b].consequent, vocab);
+        if (Subsumes(*cons[i], *state, ctx.index)) {
+          blame = b;
+          break;
+        }
+      }
+      out->push_back(
+          {Rule::kRedundantRule, RuleSite(ctx, i), g.rule_names[i],
+           StrCat(RuleLabel(g, i),
+                  " is redundant: its consequent is already derived by ",
+                  RuleRef(ctx, g, blame), " once the rules reach a fixpoint")});
+    }
+  }
+
+  // C017: two rules that fire on the same individuals (one antecedent
+  // subsumes the other) with consequents that cannot hold together. The
+  // more specific rule's post-firing state is met against the other
+  // consequent; each consequent must be individually compatible so the
+  // finding is really about the PAIR (a consequent deadly on its own is
+  // C004/C013/C015 territory).
+  std::set<std::pair<size_t, size_t>> reported;
+  for (size_t s = 0; s < rules.size(); ++s) {
+    if (g.fired[s] == nullptr) continue;
+    std::vector<uint8_t> pair_clash = BatchDisjoint(*g.fired[s], cons, vocab);
+    std::vector<uint8_t> solo_clash = BatchDisjoint(*ants[s], cons, vocab);
+    std::vector<uint8_t> covers = BatchSubsumes(ants, *ants[s], ctx.index);
+    for (size_t o = 0; o < rules.size(); ++o) {
+      if (o == s || g.fired[o] == nullptr) continue;
+      if (!covers[o] || !pair_clash[o] || solo_clash[o]) continue;
+      auto key = std::minmax(s, o);
+      if (!reported.insert(key).second) continue;
+      NormalFormPtr both = MeetNormalForms(*g.fired[s], *cons[o], vocab);
+      for (auto [a, b] : {std::pair<size_t, size_t>{s, o},
+                          std::pair<size_t, size_t>{o, s}}) {
+        out->push_back(
+            {Rule::kConflictingRules, RuleSite(ctx, a), g.rule_names[a],
+             StrCat(RuleLabel(g, a), " conflicts with ",
+                    RuleRef(ctx, g, b),
+                    ": both fire on the same individuals, but their "
+                    "consequents cannot hold together (",
+                    IncoherenceKindName(both->incoherence_kind()),
+                    "): ", both->incoherence_reason())});
+      }
+    }
+  }
+}
+
+}  // namespace classic::analyze

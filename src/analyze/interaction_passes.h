@@ -1,0 +1,30 @@
+// Whole-program passes (analyze v2): checks that no single definition
+// exhibits — they emerge from the rule dependency graph (C012, C019) or
+// from the abstract rule-closure domain (C013-C018). DESIGN.md section 13.
+
+#pragma once
+
+#include <vector>
+
+#include "analyze/analyze.h"
+#include "analyze/diagnostics.h"
+
+namespace classic::analyze {
+
+/// \brief C012 + C019: propagation cycles through role fillers (SCCs of
+/// the dependency graph that a per-rule check cannot see) and acyclic
+/// rule chains deeper than kDefaultMaxRuleChain.
+void PassDependencyGraph(const PassContext& ctx, std::vector<Diagnostic>* out);
+
+/// \brief C013, C014, C016: concept-centric interaction checks — rule
+/// closures that doom every instance, ALL restrictions on roles the rules
+/// force to zero fillers, and required roles whose filler domain is empty.
+void PassInteraction(const PassContext& ctx, std::vector<Diagnostic>* out);
+
+/// \brief C015, C017, C018: rule-centric interaction checks — rules whose
+/// antecedent is doomed by the other rules, co-firing rules with
+/// contradictory consequents, and rules whose consequent the other rules
+/// already derive.
+void PassRuleInteraction(const PassContext& ctx, std::vector<Diagnostic>* out);
+
+}  // namespace classic::analyze

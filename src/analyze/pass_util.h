@@ -1,0 +1,51 @@
+// Small helpers shared by the analysis passes (name lookup, source
+// positions). Passes live in two translation units — the local checks in
+// analyze.cc and the whole-program checks in interaction_passes.cc — and
+// both want the same degradation story: real positions when the program
+// text is available, "file only" and then "no position" otherwise.
+
+#pragma once
+
+#include <string>
+
+#include "analyze/analyze.h"
+#include "util/string_util.h"
+
+namespace classic::analyze {
+
+inline std::string SymName(const PassContext& ctx, Symbol s) {
+  return ctx.kb.vocab().symbols().Name(s);
+}
+
+inline std::string ConceptName(const PassContext& ctx, ConceptId cid) {
+  return SymName(ctx, ctx.kb.vocab().concept_info(cid).name);
+}
+
+/// Definition site of a named concept; degrades to "file only" and then
+/// to "no position" when the program (or the name) is unavailable.
+inline SourceLocation ConceptSite(const PassContext& ctx,
+                                  const std::string& name) {
+  if (ctx.program != nullptr) {
+    auto it = ctx.program->concept_sites.find(name);
+    if (it != ctx.program->concept_sites.end()) return it->second;
+    return {ctx.program->file, 0, 0};
+  }
+  return {};
+}
+
+inline SourceLocation RuleSite(const PassContext& ctx, size_t rule_index) {
+  if (ctx.program != nullptr && rule_index < ctx.program->rule_sites.size()) {
+    return ctx.program->rule_sites[rule_index];
+  }
+  return ctx.program != nullptr ? SourceLocation{ctx.program->file, 0, 0}
+                                : SourceLocation{};
+}
+
+/// "file:line:col" for cross-referencing a second position inside a
+/// message ("schema" when no position is known — e.g. bare-KB analysis).
+inline std::string FormatSite(const SourceLocation& loc) {
+  if (loc.line == 0) return loc.file.empty() ? "schema" : loc.file;
+  return StrCat(loc.file, ":", loc.line, ":", loc.column);
+}
+
+}  // namespace classic::analyze

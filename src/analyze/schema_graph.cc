@@ -1,0 +1,287 @@
+#include "analyze/schema_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "subsume/subsume.h"
+#include "util/string_util.h"
+
+namespace classic::analyze {
+
+namespace {
+
+/// Collects every (role, value restriction) a normal form would push
+/// onto fillers, recursing into nested restrictions (a filler's filler
+/// receives the inner ALL). Depth-capped defensively; normal forms are
+/// finite trees, so the cap is never the limiting factor in practice.
+void CollectFillerTriggers(
+    const NormalForm& nf, const Vocabulary& vocab, size_t depth,
+    std::vector<std::pair<std::string, NormalFormPtr>>* out) {
+  if (depth > 8) return;
+  for (const auto& [rid, rr] : nf.roles()) {
+    const NormalFormPtr& vr = rr.value_restriction;
+    if (vr == nullptr || vr->IsThing() || vr->incoherent()) continue;
+    out->push_back({vocab.symbols().Name(vocab.role(rid).name), vr});
+    CollectFillerTriggers(*vr, vocab, depth + 1, out);
+  }
+}
+
+std::string RuleLabel(const SchemaGraph& g, size_t rule) {
+  return StrCat("rule #", rule + 1, " on ", g.rule_names[rule]);
+}
+
+/// Smallest edge between two rules inside one SCC (same-individual
+/// before filler, then by role name) — the label CyclePath renders.
+const DepEdge* EdgeBetween(const SchemaGraph& g, size_t from, size_t to) {
+  const DepEdge* best = nullptr;
+  for (size_t e : g.out[from]) {
+    const DepEdge& edge = g.edges[e];
+    if (edge.to != to) continue;
+    if (best == nullptr ||
+        std::make_pair(edge.kind, edge.role) <
+            std::make_pair(best->kind, best->role)) {
+      best = &edge;
+    }
+  }
+  return best;
+}
+
+/// Shortest path inside `members` from `from` to the nearest rule
+/// satisfying `is_goal` (ties: the BFS visits sorted adjacency, so the
+/// lowest-id goal at minimum distance wins). Returns the node sequence
+/// excluding `from`; empty when unreachable.
+std::vector<size_t> BfsPath(const SchemaGraph& g,
+                            const std::set<size_t>& members, size_t from,
+                            const std::function<bool(size_t)>& is_goal) {
+  std::map<size_t, size_t> parent;  // node -> predecessor
+  std::deque<size_t> queue{from};
+  std::set<size_t> seen{from};
+  while (!queue.empty()) {
+    size_t v = queue.front();
+    queue.pop_front();
+    if (v != from && is_goal(v)) {
+      std::vector<size_t> path;
+      for (size_t n = v; n != from; n = parent.at(n)) path.push_back(n);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (size_t e : g.out[v]) {
+      size_t w = g.edges[e].to;
+      if (members.count(w) == 0 || !seen.insert(w).second) continue;
+      parent[w] = v;
+      queue.push_back(w);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool SchemaGraph::IsCycle(size_t scc) const {
+  if (sccs[scc].size() >= 2) return true;
+  size_t r = sccs[scc].front();
+  for (size_t e : out[r]) {
+    if (edges[e].to == r) return true;
+  }
+  return false;
+}
+
+SchemaGraph BuildSchemaGraph(const KnowledgeBase& kb,
+                             SubsumptionIndex* index) {
+  const Vocabulary& vocab = kb.vocab();
+  const std::vector<classic::Rule>& rules = kb.rules();
+
+  SchemaGraph g;
+  g.num_rules = rules.size();
+  g.rule_names.resize(rules.size());
+  g.fired.resize(rules.size());
+  g.out.resize(rules.size());
+
+  std::vector<NormalFormPtr> ants(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const ConceptInfo& info = vocab.concept_info(rules[i].antecedent_concept);
+    g.rule_names[i] = vocab.symbols().Name(info.name);
+    ants[i] = info.normal_form;
+    if (ants[i] == nullptr || ants[i]->incoherent()) continue;
+    NormalFormPtr meet =
+        MeetNormalForms(*ants[i], *rules[i].consequent, vocab);
+    if (!meet->incoherent()) g.fired[i] = std::move(meet);
+  }
+
+  // Edge relation. Dead rules (fired == null) propagate nothing and are
+  // never (re-)triggered into useful work, so they carry no edges —
+  // matching the C004 pass, which owns them.
+  std::set<std::tuple<size_t, size_t, DepEdgeKind, std::string>> seen;
+  auto add_edge = [&](size_t from, size_t to, DepEdgeKind kind,
+                      std::string role) {
+    if (seen.emplace(from, to, kind, role).second) {
+      g.edges.push_back({from, to, kind, std::move(role)});
+    }
+  };
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (g.fired[i] == nullptr) continue;
+    // Same individual: firing i newly establishes j's antecedent.
+    std::vector<uint8_t> covers_fired = BatchSubsumes(ants, *g.fired[i], index);
+    std::vector<uint8_t> covers_ant = BatchSubsumes(ants, *ants[i], index);
+    for (size_t j = 0; j < rules.size(); ++j) {
+      if (j == i || g.fired[j] == nullptr) continue;
+      if (covers_fired[j] && !covers_ant[j]) {
+        add_edge(i, j, DepEdgeKind::kSameIndividual, "");
+      }
+    }
+    // Fillers: the consequent pushes a value restriction onto fillers of
+    // `role`; any filler satisfying it satisfies j's antecedent. Only
+    // the consequent's restrictions count — the antecedent's were
+    // already active before the rule fired.
+    std::vector<std::pair<std::string, NormalFormPtr>> triggers;
+    CollectFillerTriggers(*rules[i].consequent, vocab, 0, &triggers);
+    for (const auto& [role, vr] : triggers) {
+      std::vector<uint8_t> covers_vr = BatchSubsumes(ants, *vr, index);
+      for (size_t j = 0; j < rules.size(); ++j) {
+        if (g.fired[j] == nullptr || !covers_vr[j]) continue;
+        add_edge(i, j, DepEdgeKind::kFiller, role);
+      }
+    }
+  }
+  std::sort(g.edges.begin(), g.edges.end(),
+            [](const DepEdge& a, const DepEdge& b) {
+              return std::tie(a.from, a.to, a.kind, a.role) <
+                     std::tie(b.from, b.to, b.kind, b.role);
+            });
+  for (size_t e = 0; e < g.edges.size(); ++e) {
+    g.out[g.edges[e].from].push_back(e);
+  }
+
+  // Tarjan SCC over rule indices.
+  std::vector<int> index_of(rules.size(), -1), low(rules.size(), 0);
+  std::vector<bool> on_stack(rules.size(), false);
+  std::vector<size_t> stack;
+  std::vector<std::vector<size_t>> components;
+  int next_index = 0;
+  std::function<void(size_t)> strongconnect = [&](size_t v) {
+    index_of[v] = low[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (size_t e : g.out[v]) {
+      size_t w = g.edges[e].to;
+      if (index_of[w] < 0) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack[w]) {
+        low[v] = std::min(low[v], index_of[w]);
+      }
+    }
+    if (low[v] != index_of[v]) return;
+    std::vector<size_t> component;
+    while (true) {
+      size_t w = stack.back();
+      stack.pop_back();
+      on_stack[w] = false;
+      component.push_back(w);
+      if (w == v) break;
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  };
+  for (size_t v = 0; v < rules.size(); ++v) {
+    if (index_of[v] < 0) strongconnect(v);
+  }
+  std::sort(components.begin(), components.end());
+  g.sccs = std::move(components);
+  g.scc_of.assign(rules.size(), 0);
+  for (size_t c = 0; c < g.sccs.size(); ++c) {
+    for (size_t r : g.sccs[c]) g.scc_of[r] = c;
+  }
+  g.scc_has_filler_edge.assign(g.sccs.size(), false);
+  for (const DepEdge& e : g.edges) {
+    if (e.kind == DepEdgeKind::kFiller && g.scc_of[e.from] == g.scc_of[e.to]) {
+      g.scc_has_filler_edge[g.scc_of[e.from]] = true;
+    }
+  }
+
+  // Condensation DAG; strata (longest path in SCC hops) and depth
+  // (longest path in rules, each SCC weighing its size) by Kahn DP.
+  const size_t nscc = g.sccs.size();
+  std::vector<std::set<size_t>> cond(nscc);
+  std::vector<size_t> indeg(nscc, 0);
+  for (const DepEdge& e : g.edges) {
+    size_t a = g.scc_of[e.from], b = g.scc_of[e.to];
+    if (a != b && cond[a].insert(b).second) ++indeg[b];
+  }
+  std::vector<size_t> scc_stratum(nscc, 0), scc_depth(nscc, 0);
+  std::set<size_t> ready;
+  for (size_t c = 0; c < nscc; ++c) {
+    scc_depth[c] = g.sccs[c].size();
+    if (indeg[c] == 0) ready.insert(c);
+  }
+  while (!ready.empty()) {
+    size_t c = *ready.begin();
+    ready.erase(ready.begin());
+    for (size_t d : cond[c]) {
+      scc_stratum[d] = std::max(scc_stratum[d], scc_stratum[c] + 1);
+      scc_depth[d] = std::max(scc_depth[d], scc_depth[c] + g.sccs[d].size());
+      if (--indeg[d] == 0) ready.insert(d);
+    }
+  }
+  g.strata.assign(rules.size(), 0);
+  g.depth.assign(rules.size(), 0);
+  for (size_t c = 0; c < nscc; ++c) {
+    for (size_t r : g.sccs[c]) {
+      g.strata[r] = scc_stratum[c];
+      g.depth[r] = scc_depth[c];
+    }
+    g.num_strata = std::max(g.num_strata, scc_stratum[c] + 1);
+    g.max_depth = std::max(g.max_depth, scc_depth[c]);
+  }
+  return g;
+}
+
+std::string CyclePath(const SchemaGraph& g, size_t scc) {
+  const std::set<size_t> members(g.sccs[scc].begin(), g.sccs[scc].end());
+  size_t anchor = g.sccs[scc].front();
+
+  // Closed walk visiting every member: repeatedly extend with the BFS
+  // path to the nearest unvisited member, then close back to the
+  // anchor. Every step is deterministic (sorted adjacency, lowest goal
+  // first), so the rendered path is stable across runs.
+  std::vector<size_t> walk{anchor};
+  std::set<size_t> visited{anchor};
+  while (visited.size() < members.size()) {
+    std::vector<size_t> leg =
+        BfsPath(g, members, walk.back(),
+                [&](size_t r) { return visited.count(r) == 0; });
+    if (leg.empty()) break;  // defensive; an SCC is strongly connected
+    for (size_t r : leg) {
+      walk.push_back(r);
+      visited.insert(r);
+    }
+  }
+  if (walk.back() != anchor) {
+    std::vector<size_t> leg = BfsPath(g, members, walk.back(),
+                                      [&](size_t r) { return r == anchor; });
+    for (size_t r : leg) walk.push_back(r);
+  } else if (members.size() == 1) {
+    // Single-rule cycle: the self edge closes the walk.
+    walk.push_back(anchor);
+  }
+
+  std::string path;
+  for (size_t k = 0; k < walk.size(); ++k) {
+    if (k > 0) {
+      const DepEdge* e = EdgeBetween(g, walk[k - 1], walk[k]);
+      if (e != nullptr && e->kind == DepEdgeKind::kFiller) {
+        path += StrCat(" -(ALL ", e->role, ")-> ");
+      } else {
+        path += " -> ";
+      }
+    }
+    path += RuleLabel(g, walk[k]);
+  }
+  return path;
+}
+
+}  // namespace classic::analyze

@@ -1,0 +1,109 @@
+// The rule dependency graph: whole-program structure of propagation.
+//
+// PR 3's rule pass reasons about one rule at a time (plus the purely
+// same-individual cycle relation). This module builds the global graph
+// the paper's Section 3.3 semantics actually induces: firing a rule can
+// trigger further rules on the SAME individual (its consequent makes the
+// individual satisfy another antecedent) and — through ALL restrictions —
+// on the individual's ROLE FILLERS, arbitrarily deep in the role graph.
+// Nodes are the schema's rules; edges carry their kind and, for filler
+// edges, the role whose value restriction transmits the trigger (a
+// "concept -> rule -> consequent" path over deep-NF mentions).
+//
+// On top of the edge relation the graph computes:
+//  - SCCs (Tarjan): components with >= 2 rules are whole-schema
+//    propagation cycles, including cycles through fillers that no
+//    per-rule check can see;
+//  - stratification: the condensation's longest-path stratum of every
+//    rule (rules in one cycle share a stratum);
+//  - propagation-depth bounds: the maximum number of rule firings any
+//    single assertion can transitively cause along an acyclic chain
+//    (cycles count their full size once — each rule still fires at most
+//    once per individual).
+//
+// Everything is deterministic: rules are visited in definition order and
+// edges are sorted, so repeated runs (and the --deps / --profile CLI
+// renderings) are byte-identical.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostics.h"
+#include "desc/normal_form.h"
+#include "kb/knowledge_base.h"
+
+namespace classic::analyze {
+
+enum class DepEdgeKind {
+  /// Firing `from` makes the same individual satisfy `to`'s antecedent.
+  kSameIndividual,
+  /// Firing `from` pushes a value restriction onto fillers of `role`,
+  /// and any individual satisfying that restriction satisfies `to`'s
+  /// antecedent.
+  kFiller,
+};
+
+struct DepEdge {
+  size_t from = 0;  // rule index
+  size_t to = 0;    // rule index
+  DepEdgeKind kind = DepEdgeKind::kSameIndividual;
+  /// Role name transmitting a kFiller trigger ("" for same-individual).
+  std::string role;
+};
+
+struct SchemaGraph {
+  /// Number of rules (node count).
+  size_t num_rules = 0;
+  /// Antecedent concept name of each rule (display).
+  std::vector<std::string> rule_names;
+  /// Post-firing state (antecedent meet consequent); null when the rule
+  /// is locally dead (antecedent unsatisfiable or the meet incoherent —
+  /// C004 territory; dead rules propagate nothing).
+  std::vector<NormalFormPtr> fired;
+  /// All edges, sorted by (from, to, kind, role).
+  std::vector<DepEdge> edges;
+  /// Adjacency: indices into `edges`, grouped by `from`.
+  std::vector<std::vector<size_t>> out;
+
+  /// SCCs, each sorted ascending, ordered by smallest member.
+  std::vector<std::vector<size_t>> sccs;
+  /// scc_of[rule] = index into `sccs`.
+  std::vector<size_t> scc_of;
+  /// True if the SCC contains a filler edge between its members (such a
+  /// cycle is invisible to the same-individual relation).
+  std::vector<bool> scc_has_filler_edge;
+
+  /// Stratum of each rule: longest condensation path (in SCC hops) from
+  /// any source SCC. Rules in one cycle share a stratum.
+  std::vector<size_t> strata;
+  size_t num_strata = 0;
+
+  /// depth[rule] = maximum number of rules on any chain ending at this
+  /// rule (each SCC contributes its full size). The schema-wide
+  /// propagation-depth bound is the max over all rules.
+  std::vector<size_t> depth;
+  size_t max_depth = 0;
+
+  /// \brief True if `scc` (index into sccs) is a propagation cycle:
+  /// more than one rule, or a single rule with a self edge.
+  bool IsCycle(size_t scc) const;
+};
+
+/// \brief Default budget for C019: flag acyclic chains longer than this
+/// many rules (every extra stratum is another cascade every assertion
+/// can trigger).
+inline constexpr size_t kDefaultMaxRuleChain = 8;
+
+/// \brief Builds the dependency graph of `kb`'s rules. `index` memoizes
+/// the subsumption probes (may be null).
+SchemaGraph BuildSchemaGraph(const KnowledgeBase& kb, SubsumptionIndex* index);
+
+/// \brief Deterministic closed walk through all members of `scc`
+/// (a cycle index per SchemaGraph::IsCycle), rendered as
+/// "rule #1 on A -(ALL child)-> rule #2 on B -> rule #1 on A".
+std::string CyclePath(const SchemaGraph& g, size_t scc);
+
+}  // namespace classic::analyze

@@ -15,6 +15,10 @@ namespace {
 /// position of its first character.
 class Reader {
  public:
+  /// Tab-stop width used for column accounting (the convention every
+  /// diagnostic position follows; documented in sexpr.h).
+  static constexpr uint32_t kTabWidth = 8;
+
   explicit Reader(const std::string& input) : input_(input) {}
 
   Result<Value> ReadOne() {
@@ -48,11 +52,17 @@ class Reader {
   char Peek() const { return input_[pos_]; }
 
   /// Consumes one character, keeping the line/column counters true.
+  /// Column convention (see sexpr.h): columns are 1-based character
+  /// counts, except that a tab advances to the next 8-wide tab stop
+  /// (columns 9, 17, 25, ...) — matching how editors display the file,
+  /// instead of counting the tab as one raw byte.
   char Advance() {
     char c = input_[pos_++];
     if (c == '\n') {
       ++line_;
       col_ = 1;
+    } else if (c == '\t') {
+      col_ = ((col_ - 1) / kTabWidth + 1) * kTabWidth + 1;
     } else {
       ++col_;
     }

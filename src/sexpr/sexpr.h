@@ -35,6 +35,12 @@ enum class Kind {
 /// position (0 = unknown, e.g. for programmatically built values), which
 /// error messages and the static analyzer surface to the user. Locations
 /// are carried alongside the value and never participate in equality.
+///
+/// Column convention: a column is a 1-based character count within the
+/// line, with one exception — a tab advances the column to the next
+/// 8-wide tab stop (so a tab at column 1 puts the next character at
+/// column 9, like an editor displaying the file with 8-space tabs).
+/// Every diagnostic position in the system follows this convention.
 class Value {
  public:
   static Value MakeSymbol(std::string name) {

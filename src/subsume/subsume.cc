@@ -1,6 +1,7 @@
 #include "subsume/subsume.h"
 
 #include <algorithm>
+#include <map>
 
 #include "obs/metrics.h"
 #include "subsume/subsume_index.h"
@@ -153,6 +154,48 @@ bool Disjoint(const NormalForm& a, const NormalForm& b,
               const Vocabulary& vocab) {
   if (a.incoherent() || b.incoherent()) return true;
   return MeetNormalForms(a, b, vocab)->incoherent();
+}
+
+std::vector<uint8_t> BatchDisjoint(const NormalForm& base,
+                                   const std::vector<NormalFormPtr>& cands,
+                                   const Vocabulary& vocab) {
+  std::vector<uint8_t> out(cands.size(), 0);
+  std::map<NfId, uint8_t> memo;  // verdicts for interned candidates
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i] == nullptr) continue;
+    NfId id = cands[i]->interned_id();
+    if (id != kNoNfId) {
+      auto it = memo.find(id);
+      if (it != memo.end()) {
+        out[i] = it->second;
+        continue;
+      }
+    }
+    out[i] = Disjoint(base, *cands[i], vocab) ? 1 : 0;
+    if (id != kNoNfId) memo.emplace(id, out[i]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> BatchSubsumes(const std::vector<NormalFormPtr>& generals,
+                                   const NormalForm& specific,
+                                   SubsumptionIndex* index) {
+  std::vector<uint8_t> out(generals.size(), 0);
+  std::map<NfId, uint8_t> memo;
+  for (size_t i = 0; i < generals.size(); ++i) {
+    if (generals[i] == nullptr) continue;
+    NfId id = generals[i]->interned_id();
+    if (id != kNoNfId) {
+      auto it = memo.find(id);
+      if (it != memo.end()) {
+        out[i] = it->second;
+        continue;
+      }
+    }
+    out[i] = Subsumes(*generals[i], specific, index) ? 1 : 0;
+    if (id != kNoNfId) memo.emplace(id, out[i]);
+  }
+  return out;
 }
 
 }  // namespace classic

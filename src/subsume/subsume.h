@@ -49,4 +49,25 @@ std::vector<std::vector<size_t>> EquivalenceClasses(
 bool Disjoint(const NormalForm& a, const NormalForm& b,
               const Vocabulary& vocab);
 
+/// \brief Batch emptiness: out[i] = Disjoint(base, *cands[i]) — whether
+/// the meet of `base` with each candidate is unsatisfiable. One call
+/// computes each *distinct* meet once: candidates are deduped by
+/// interned NfId, so the static analyzer's abstract-domain pass (which
+/// probes one state against every rule consequent, many of them shared
+/// normal forms) pays one Tighten per distinct pair instead of one per
+/// probe. Null candidates yield 0.
+std::vector<uint8_t> BatchDisjoint(const NormalForm& base,
+                                   const std::vector<NormalFormPtr>& cands,
+                                   const Vocabulary& vocab);
+
+/// \brief Batch subsumption against one specific form: out[i] =
+/// Subsumes(*generals[i], specific, index). Deduped by interned NfId
+/// within the call (the closure loops test every rule antecedent
+/// against one abstract state per iteration); verdicts additionally
+/// land in `index` (may be null) like the single-pair overload. Null
+/// generals yield 0.
+std::vector<uint8_t> BatchSubsumes(const std::vector<NormalFormPtr>& generals,
+                                   const NormalForm& specific,
+                                   SubsumptionIndex* index);
+
 }  // namespace classic

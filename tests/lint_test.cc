@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analyze/analyze.h"
+#include "analyze/profile.h"
 #include "analyze/program.h"
 #include "classic/database.h"
 #include "kb/kb_engine.h"
@@ -62,6 +63,12 @@ const GoldenCase kGoldenCases[] = {
     {"dead_rules", {"C004", "C005", "C006"}},
     {"undefined",
      {"C002", "C003", "C007", "C008", "C009", "C010", "C011"}},
+    // analyze v2: whole-program findings (dependency graph + closures).
+    {"cycle3", {"C012"}},
+    {"interaction",
+     {"C008", "C013", "C014", "C015", "C016", "C017", "C018"}},
+    {"depth", {"C019"}},
+    {"unreadable", {"C000"}},
 };
 
 TEST(LintGoldenTest, SeededDefectsMatchGoldenOutput) {
@@ -73,12 +80,37 @@ TEST(LintGoldenTest, SeededDefectsMatchGoldenOutput) {
     std::string golden = Slurp(std::string(CLASSIC_EXAMPLES_DIR) +
                                "/lint/golden/" + c.file + ".txt");
     EXPECT_EQ(RenderText(diags), golden);
-    // Every finding points at a real source position.
+    // Every finding points at a real source position — except C000,
+    // which reports the file as a whole (there is no reliable position
+    // inside an unparseable program).
     for (const Diagnostic& d : diags) {
+      if (d.rule == Rule::kParseError) continue;
       EXPECT_GT(d.loc.line, 0u) << RenderText(d);
       EXPECT_GT(d.loc.column, 0u) << RenderText(d);
     }
   }
+}
+
+// Catalog coverage: every diagnostic the analyzer can emit is triggered
+// by at least one seeded fixture, exactly where its golden says. A new
+// rule id without a fixture fails here.
+TEST(LintGoldenTest, EveryCatalogRuleHasAFixture) {
+  std::set<std::string> covered;
+  for (const GoldenCase& c : kGoldenCases) {
+    covered.insert(c.expected_rules.begin(), c.expected_rules.end());
+  }
+  std::set<std::string> catalog;
+  for (Rule rule : AllRules()) catalog.insert(GetRuleInfo(rule).id);
+  EXPECT_EQ(covered, catalog);
+  // And the expected sets themselves are honest: recompute from the
+  // fixtures rather than trusting the table.
+  std::set<std::string> recomputed;
+  for (const GoldenCase& c : kGoldenCases) {
+    std::set<std::string> ids =
+        RuleIds(LintExample(std::string("lint/") + c.file + ".classic"));
+    recomputed.insert(ids.begin(), ids.end());
+  }
+  EXPECT_EQ(recomputed, catalog);
 }
 
 // --- Clean schemas produce nothing --------------------------------------
@@ -127,6 +159,69 @@ TEST(LintDeterminismTest, DiagnosticsAreSortedAndDeduplicated) {
   for (size_t i = 1; i < diags.size(); ++i) {
     EXPECT_NE(RenderText(diags[i - 1]), RenderText(diags[i]));
   }
+}
+
+// Two findings at the same position sort by rule id, then message — so
+// goldens stay stable no matter which pass runs first.
+TEST(LintDeterminismTest, SamePositionTieBreaksByRuleIdThenMessage) {
+  SourceLocation loc{"f.classic", 7, 3};
+  std::vector<Diagnostic> diags = {
+      {Rule::kEmptyFillerDomain, loc, "X", "zzz"},
+      {Rule::kUnusedDefinition, loc, "X", "bbb"},
+      {Rule::kUnusedDefinition, loc, "X", "aaa"},
+  };
+  SortDiagnostics(&diags);
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(GetRuleInfo(diags[0].rule).id, std::string("C008"));
+  EXPECT_EQ(diags[0].message, "aaa");
+  EXPECT_EQ(diags[1].message, "bbb");
+  EXPECT_EQ(GetRuleInfo(diags[2].rule).id, std::string("C016"));
+}
+
+// --- Schema profile ------------------------------------------------------
+
+std::string ProfileFor(const std::string& rel) {
+  auto program = LoadProgram("examples/" + rel,
+                             Slurp(std::string(CLASSIC_EXAMPLES_DIR) + "/" +
+                                   rel));
+  EXPECT_TRUE(program.ok()) << program.status().message();
+  const KnowledgeBase& kb = program.ValueOrDie().db->kb();
+  SubsumptionIndex index;
+  SchemaGraph graph = BuildSchemaGraph(kb, &index);
+  AbstractSchema abs = ComputeAbstractSchema(kb, &index);
+  return RenderProfileJson(kb, graph, abs, "examples/" + rel);
+}
+
+TEST(LintProfileTest, ProfileIsByteIdenticalAcrossRuns) {
+  std::string first = ProfileFor("university.classic");
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(ProfileFor("university.classic"), first);
+  EXPECT_EQ(ProfileFor("university.classic"), first);
+}
+
+TEST(LintProfileTest, ProfileCarriesStructuralFacts) {
+  std::string json = ProfileFor("lint/interaction.classic");
+  // Doomed concepts surface with zero selectivity.
+  EXPECT_NE(json.find("\"name\": \"BADGELESS\""), std::string::npos);
+  EXPECT_NE(json.find("\"doomed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"selectivity\": 0,"), std::string::npos);
+  // Role bounds folded through the rule closure.
+  EXPECT_NE(json.find("\"filler_domain_empty\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+
+  std::string deps = [&] {
+    auto program =
+        LoadProgram("examples/lint/cycle3.classic",
+                    Slurp(std::string(CLASSIC_EXAMPLES_DIR) +
+                          "/lint/cycle3.classic"));
+    EXPECT_TRUE(program.ok());
+    const KnowledgeBase& kb = program.ValueOrDie().db->kb();
+    SubsumptionIndex index;
+    SchemaGraph graph = BuildSchemaGraph(kb, &index);
+    return RenderDepsText(kb, graph);
+  }();
+  EXPECT_NE(deps.find("1 cycle(s)"), std::string::npos) << deps;
+  EXPECT_NE(deps.find("cycle: rule #1 on PERSON"), std::string::npos) << deps;
 }
 
 // --- JSON rendering ------------------------------------------------------

@@ -175,6 +175,33 @@ TEST(SexprLocationTest, StringAndNumberLiteralsCarryPositions) {
   EXPECT_EQ(v->at(3).column(), 6u);
 }
 
+// Tabs advance the column to the next 8-wide tab stop (columns 1, 9,
+// 17, ...), matching how terminals render the file — not one raw byte
+// per tab. This pins the convention documented in sexpr.h.
+TEST(SexprLocationTest, TabsAdvanceToEightWideTabStops) {
+  // "\tX": tab at column 1 jumps to column 9.
+  auto v = Parse("\t(A)");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->column(), 9u);
+
+  // A tab mid-column snaps forward to the next stop, not +8.
+  auto w = Parse("  \t(B)");  // columns 1-2 are spaces; tab lands on 3 -> 9
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->column(), 9u);
+
+  // Two tabs: 1 -> 9 -> 17.
+  auto x = Parse("\t\t(C)");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->column(), 17u);
+
+  // Error positions use the same convention.
+  auto bad = ParseAll("(A)\n\t)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2, column 9"),
+            std::string::npos)
+      << bad.status().message();
+}
+
 TEST(SexprLocationTest, LocationsDoNotAffectEquality) {
   auto a = Parse("(AND A B)");
   auto b = Parse("\n\n   (AND A B)");

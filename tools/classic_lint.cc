@@ -2,6 +2,8 @@
 //
 // Usage:
 //   classic_lint [--format=text|json] FILE...
+//   classic_lint --deps FILE...
+//   classic_lint --profile FILE...
 //   classic_lint --rules
 //
 // Lints each file (a `.classic` / `.clq` program in the operator
@@ -9,8 +11,14 @@
 // a private scratch instance and the analysis passes run over the
 // result. Diagnostics go to stdout in deterministic order.
 //
+// --deps prints the whole-program rule dependency graph (strata, depth
+// bounds, cycles); --profile emits the JSON schema profile (per-concept
+// selectivity estimates, role fan-out bounds, rule strata). Both are
+// byte-identical across runs on the same input.
+//
 // Exit status: 0 = no findings, 1 = findings reported, 2 = operational
-// error (unreadable file, bad usage).
+// error (unreadable file, bad usage). The --deps/--profile modes report
+// nothing, so they exit 0 unless the program cannot be loaded at all.
 
 #include <cstdio>
 #include <cstring>
@@ -18,14 +26,19 @@
 #include <vector>
 
 #include "analyze/analyze.h"
+#include "analyze/profile.h"
 #include "analyze/program.h"
 #include "util/string_util.h"
 
 namespace {
 
+enum class Mode { kLint, kDeps, kProfile };
+
 int Usage() {
   std::fprintf(stderr,
                "usage: classic_lint [--format=text|json] FILE...\n"
+               "       classic_lint --deps FILE...\n"
+               "       classic_lint --profile FILE...\n"
                "       classic_lint --rules\n");
   return 2;
 }
@@ -40,10 +53,40 @@ void PrintRules() {
   }
 }
 
+/// The --deps/--profile modes: load each file and render the analysis
+/// structures instead of diagnostics. A file that cannot even be parsed
+/// has no rule graph worth printing — that is an operational error here.
+int RunStructureMode(Mode mode, const std::vector<std::string>& files) {
+  for (const std::string& file : files) {
+    auto program = classic::analyze::LoadProgramFile(file);
+    if (!program.ok()) {
+      std::fprintf(stderr, "classic_lint: %s\n",
+                   program.status().message().c_str());
+      return 2;
+    }
+    const classic::KnowledgeBase& kb = program.ValueOrDie().db->kb();
+    classic::SubsumptionIndex index;
+    classic::analyze::SchemaGraph graph =
+        classic::analyze::BuildSchemaGraph(kb, &index);
+    if (mode == Mode::kDeps) {
+      if (files.size() > 1) std::printf("== %s ==\n", file.c_str());
+      std::fputs(classic::analyze::RenderDepsText(kb, graph).c_str(), stdout);
+    } else {
+      classic::analyze::AbstractSchema abs =
+          classic::analyze::ComputeAbstractSchema(kb, &index);
+      std::fputs(
+          classic::analyze::RenderProfileJson(kb, graph, abs, file).c_str(),
+          stdout);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  Mode mode = Mode::kLint;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -54,6 +97,10 @@ int main(int argc, char** argv) {
       json = false;
     } else if (arg == "--format=json") {
       json = true;
+    } else if (arg == "--deps") {
+      mode = Mode::kDeps;
+    } else if (arg == "--profile") {
+      mode = Mode::kProfile;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else {
@@ -61,6 +108,7 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) return Usage();
+  if (mode != Mode::kLint) return RunStructureMode(mode, files);
 
   std::vector<classic::analyze::Diagnostic> all;
   for (const std::string& file : files) {
