@@ -15,7 +15,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "classic/database.h"
+#include "query/planner.h"
 #include "query/query.h"
 #include "util/string_util.h"
 #include "workload.h"
@@ -106,6 +109,89 @@ void BM_QueryIndexOnly(benchmark::State& state) {
   state.counters["tested"] = static_cast<double>(tested);
 }
 BENCHMARK(BM_QueryIndexOnly)->Arg(512)->Arg(2048);
+
+// --- Planner access paths: filler-inverted index vs taxonomy scan ----
+//
+// The selective query names a specific (role, filler) pair, so the
+// planner can answer from that pair's posting list instead of testing
+// every instance of the query's classified parent. The non-selective
+// query offers no complete index source (AT-LEAST never prunes), so
+// both modes take the same taxonomy scan — the planner must not make
+// that case worse. scripts/check_query_cost.py guards the ratio
+// scan/indexed at 100k individuals.
+
+struct PlannerFixture {
+  Database db;
+  StandardWorkload w;
+  Query selective;
+  Query non_selective;
+};
+
+PlannerFixture* GetPlannerFixture(size_t num_inds) {
+  // Cached across benchmarks (and leaked): the 100k build dominates
+  // wall time, so the three access-path benchmarks share one fixture.
+  static std::map<size_t, PlannerFixture*>* cache =
+      new std::map<size_t, PlannerFixture*>;
+  auto it = cache->find(num_inds);
+  if (it != cache->end()) return it->second;
+  auto* fx = new PlannerFixture;
+  fx->w = BuildStandardWorkload(&fx->db, /*num_concepts=*/120, num_inds,
+                                /*seed=*/7);
+  // A mid-population individual: any specific (role, filler) pair holds
+  // for only a handful of individuals, which is the selective case.
+  const std::string& target = fx->w.individuals[num_inds / 2];
+  auto sel = ParseQueryString(
+      StrCat("(AND ", fx->w.schema.primitive_names[1], " (FILLS ",
+             fx->w.schema.role_names[0], " ", target, "))"),
+      &fx->db.kb().vocab().symbols());
+  auto non = ParseQueryString(
+      StrCat("(AND ", fx->w.schema.primitive_names[1], " (AT-LEAST 1 ",
+             fx->w.schema.role_names[0], "))"),
+      &fx->db.kb().vocab().symbols());
+  if (!sel.ok() || !non.ok()) std::abort();
+  fx->selective = *sel;
+  fx->non_selective = *non;
+  (*cache)[num_inds] = fx;
+  return fx;
+}
+
+void RunPlannerBench(benchmark::State& state, planner::Mode mode,
+                     bool selective) {
+  PlannerFixture* fx = GetPlannerFixture(static_cast<size_t>(state.range(0)));
+  const Query& query = selective ? fx->selective : fx->non_selective;
+  planner::SetMode(mode);
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto r = planner::RetrieveQuery(fx->db.kb(), query, nullptr);
+    if (!r.ok()) {
+      planner::SetMode(planner::Mode::kAuto);
+      state.SkipWithError("retrieve failed");
+      return;
+    }
+    answers = r->answers.size();
+    benchmark::DoNotOptimize(r);
+  }
+  planner::SetMode(planner::Mode::kAuto);
+  state.counters["individuals"] = static_cast<double>(state.range(0));
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void BM_QuerySelectiveIndexed(benchmark::State& state) {
+  RunPlannerBench(state, planner::Mode::kForceIndex, /*selective=*/true);
+}
+BENCHMARK(BM_QuerySelectiveIndexed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_QuerySelectiveScan(benchmark::State& state) {
+  RunPlannerBench(state, planner::Mode::kForceScan, /*selective=*/true);
+}
+BENCHMARK(BM_QuerySelectiveScan)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Auto mode on a query with no index source: the planner's overhead on
+// queries it cannot accelerate.
+void BM_QueryNonSelective(benchmark::State& state) {
+  RunPlannerBench(state, planner::Mode::kAuto, /*selective=*/false);
+}
+BENCHMARK(BM_QueryNonSelective)->Arg(1000)->Arg(10000)->Arg(100000);
 
 }  // namespace
 }  // namespace classic::bench

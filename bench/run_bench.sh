@@ -11,7 +11,7 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_core.json}"
 
-BENCHES=(bench_subsumption bench_classification bench_assert)
+BENCHES=(bench_subsumption bench_classification bench_query bench_assert)
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT

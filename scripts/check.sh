@@ -6,10 +6,14 @@
 # across runs, and clang-tidy over src/ when installed — findings fail
 # the build), the observability gates (a -DCLASSIC_OBS=OFF build
 # proving the instrumentation compiles out cleanly, and classic_stats
-# --json validated against the golden schema), the serving gates (a
-# quick loadgen run checked against the BENCH_serving.json baseline, and
-# the server smoke under ASan), then a ThreadSanitizer build that runs
-# the parallel suites — including the serving reader-vs-writer race.
+# --json validated against the golden schema), the planner gates (the
+# (explain ...) golden over the university example, and the selective
+# query-cost guard pinning the index-vs-scan gap at 100k individuals),
+# the serving gates (a quick loadgen run checked against the
+# BENCH_serving.json baseline, and the server smoke under ASan), then a
+# ThreadSanitizer build that runs the parallel suites — including the
+# serving reader-vs-writer race and the index-vs-scan equivalence
+# harness.
 # Usage:
 #
 #   scripts/check.sh            # everything
@@ -79,6 +83,16 @@ if [[ "$TSAN_ONLY" -eq 0 ]]; then
       --benchmark_format=json --benchmark_min_time=0.5 2> /dev/null |
     python3 scripts/check_bulkload_cost.py
 
+  echo "== planner: (explain ...) golden output on the university example"
+  ./build/tests/explain_golden_test
+
+  echo "== perf: selective-query cost guard (index vs scan at 100k)"
+  cmake --build build -j"$JOBS" --target bench_query
+  ./build/bench/bench_query \
+      --benchmark_filter='BM_QuerySelective(Indexed|Scan)/100000$' \
+      --benchmark_format=json --benchmark_min_time=0.05 2> /dev/null |
+    python3 scripts/check_query_cost.py
+
   echo "== serve: loadgen vs BENCH_serving.json baseline"
   ./build/tools/serve_loadgen --file=examples/university.classic \
       --requests=2000 --open-seconds=2 --json |
@@ -112,7 +126,7 @@ cmake -B build-tsan -S . -DCLASSIC_TSAN=ON > /dev/null
 cmake --build build-tsan -j"$JOBS" --target \
   parallel_diff_test parallel_stress_test obs_parallel_test \
   epoch_persistence_test serve_test propagate_stress_test \
-  propagate_determinism_test
+  propagate_determinism_test planner_equivalence_test
 
 echo "== tsan: parallel_diff_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_diff_test
@@ -126,6 +140,8 @@ echo "== tsan: obs_parallel_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_parallel_test
 echo "== tsan: epoch_persistence_test"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/epoch_persistence_test
+echo "== tsan: planner_equivalence_test (index vs scan across threads)"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/planner_equivalence_test
 echo "== tsan: serve_test (reader clients vs publishing writer)"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
 

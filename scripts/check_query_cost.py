@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Selective-query cost guard for the filler-inverted index path.
+
+Reads Google Benchmark JSON (--benchmark_format=json) on stdin, finds
+the BM_QuerySelectiveIndexed/100000 and BM_QuerySelectiveScan/100000
+runs, and fails unless the index path beats the taxonomy scan by at
+least MIN_SPEEDUP. The point of the inverted index is that a selective
+(role, filler) query touches the posting list instead of testing every
+instance of the query's classified parent; at 100k individuals the
+measured gap is three orders of magnitude, so a 10x floor catches any
+regression to O(extension) work on the index path without flaking on
+machine noise.
+
+Usage:
+  ./build/bench/bench_query \
+      --benchmark_filter='BM_QuerySelective(Indexed|Scan)/100000$' \
+      --benchmark_format=json --benchmark_min_time=0.05 |
+    python3 scripts/check_query_cost.py
+"""
+
+import json
+import sys
+
+MIN_SPEEDUP = 10.0
+
+INDEXED = "BM_QuerySelectiveIndexed/100000"
+SCAN = "BM_QuerySelectiveScan/100000"
+
+
+def ns_per_op(runs, name):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    for b in runs:
+        if b.get("name") == name and b.get("run_type") != "aggregate":
+            return b["real_time"] * scale.get(b["time_unit"], 1.0)
+    return None
+
+
+def main() -> int:
+    data = json.load(sys.stdin)
+    runs = data.get("benchmarks", [])
+    indexed = ns_per_op(runs, INDEXED)
+    scan = ns_per_op(runs, SCAN)
+    if indexed is None or scan is None:
+        print(
+            f"check_query_cost: need both {INDEXED} and {SCAN} in input",
+            file=sys.stderr,
+        )
+        return 1
+    speedup = scan / indexed if indexed > 0 else float("inf")
+    verdict = "ok" if speedup >= MIN_SPEEDUP else "REGRESSION"
+    print(
+        f"check_query_cost: indexed {indexed:,.0f} ns/op, "
+        f"scan {scan:,.0f} ns/op -> {speedup:,.1f}x "
+        f"(floor {MIN_SPEEDUP:,.1f}x) -> {verdict}"
+    )
+    return 0 if speedup >= MIN_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

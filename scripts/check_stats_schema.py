@@ -42,9 +42,25 @@ def check_counters(obj, where, schema):
             err(f"{where}: counter {name!r} is not a non-negative integer")
 
 
+def check_planner(planner, where, schema):
+    if not isinstance(planner, list):
+        err(f"{where}: planner is not an array")
+        return
+    kinds = [p.get("kind") for p in planner]
+    if kinds != schema["planner_kinds"]:
+        err(f"{where}: planner kind spine {kinds} != {schema['planner_kinds']}")
+    for p in planner:
+        pwhere = f"{where}.planner[{p.get('kind')}]"
+        for key in schema["planner_keys"]:
+            if key not in p:
+                err(f"{pwhere}: missing key {key!r}")
+            elif key != "kind" and (not isinstance(p[key], int) or p[key] < 0):
+                err(f"{pwhere}: {key!r} is not a non-negative integer")
+
+
 def check_report(report, idx, schema):
     where = f"report[{idx}]"
-    for key in ("file", "phases", "registry"):
+    for key in ("file", "phases", "planner", "registry"):
         if key not in report:
             err(f"{where}: missing key {key!r}")
             return
@@ -59,6 +75,8 @@ def check_report(report, idx, schema):
             if key not in p:
                 err(f"{pwhere}: missing key {key!r}")
         check_counters(p.get("counters"), pwhere, schema)
+
+    check_planner(report["planner"], where, schema)
 
     registry = report["registry"]
     for key in schema["registry_keys"]:

@@ -439,6 +439,21 @@ Result<std::string> Interpreter::Execute(const sexpr::Value& op) {
     return FormatNames(names);
   }
 
+  if (head == "explain") {
+    // (explain <query-form>) — serve the wrapped read-only form with
+    // QueryRequest::explain set and print the chosen plan above the
+    // answer. Served against the live database directly (ServeQuery is a
+    // pure read), so explain works before any (publish).
+    CLASSIC_ASSIGN_OR_RETURN(QueryRequest req, Session::RequestFromForm(op));
+    QueryAnswer ans = KbEngine::ServeQuery(db_->kb(), req);
+    CLASSIC_RETURN_NOT_OK(ans.status);
+    // values[0] is the rendered plan; the rest is the ordinary answer.
+    std::vector<std::string> rest(
+        ans.values.begin() + (ans.values.empty() ? 0 : 1), ans.values.end());
+    return StrCat(ans.values.empty() ? "" : ans.values[0], "\n",
+                  FormatAnswer(req.kind, rest));
+  }
+
   if (head == "as-of") {
     if (op.size() != 3 || !op.at(1).IsInteger()) {
       return Status::InvalidArgument(

@@ -23,7 +23,7 @@
 //   (ind-aspect IndName ASPECT role)
 //   (save-snapshot "path")           (load "path")
 //   (publish)                        (epochs)
-//   (as-of EPOCH <query-op>)
+//   (as-of EPOCH <query-op>)         (explain <query-op>)
 //
 // The epoch forms expose O(delta) copy-on-write publication: (publish)
 // captures the database's current state as the next epoch (cost
@@ -32,6 +32,11 @@
 // retained epoch numbers, and (as-of N <op>) evaluates a read-only query
 // form — ask, ask-possible, ask-description, instances, msc, describe —
 // against retained epoch N, i.e. against history.
+//
+// (explain <op>) serves any of those read-only forms with the query
+// planner's plan tree printed above the answer: the access path chosen
+// (taxonomy scan vs. index intersection), with estimated and actual
+// per-node cardinalities (query/planner.h).
 
 #pragma once
 

@@ -8,6 +8,7 @@
 #include "query/describe.h"
 #include "query/introspect.h"
 #include "query/path_query.h"
+#include "query/planner.h"
 #include "query/query.h"
 #include "util/string_util.h"
 
@@ -97,13 +98,16 @@ sexpr::Value QueryRequest::ToSexpr() const {
     items.push_back(
         sexpr::Value::MakeInteger(static_cast<int64_t>(as_of_epoch)));
   }
+  if (explain) {
+    items.push_back(sexpr::Value::MakeSymbol("explain"));
+  }
   return sexpr::Value::MakeList(std::move(items));
 }
 
 std::string QueryRequest::ToWire() const { return ToSexpr().ToString(); }
 
 Result<QueryRequest> QueryRequest::FromSexpr(const sexpr::Value& v) {
-  if (!v.HasHead("request") || v.size() < 3 || v.size() > 4) {
+  if (!v.HasHead("request") || v.size() < 3 || v.size() > 5) {
     return Status::InvalidArgument(
         StrCat("not a request form: ", v.ToString()));
   }
@@ -121,12 +125,24 @@ Result<QueryRequest> QueryRequest::FromSexpr(const sexpr::Value& v) {
         StrCat("request text must be a string: ", v.ToString()));
   }
   QueryRequest out{*kind, v.at(2).text()};
-  if (v.size() == 4) {
-    if (!v.at(3).IsInteger() || v.at(3).integer() <= 0) {
+  // Optional trailing arguments: a positive-integer epoch, then the
+  // `explain` symbol — in that order only.
+  size_t next = 3;
+  if (next < v.size() && v.at(next).IsInteger()) {
+    if (v.at(next).integer() <= 0) {
       return Status::InvalidArgument(
           StrCat("request epoch must be a positive integer: ", v.ToString()));
     }
-    out.as_of_epoch = static_cast<uint64_t>(v.at(3).integer());
+    out.as_of_epoch = static_cast<uint64_t>(v.at(next).integer());
+    ++next;
+  }
+  if (next < v.size() && v.at(next).IsSymbolNamed("explain")) {
+    out.explain = true;
+    ++next;
+  }
+  if (next != v.size()) {
+    return Status::InvalidArgument(StrCat(
+        "request tail must be [<epoch>] [explain]: ", v.ToString()));
   }
   return out;
 }
@@ -346,6 +362,10 @@ obs::MetricsSnapshot KbEngine::MetricsSnapshot() const {
 QueryAnswer KbEngine::ServeQueryImpl(const KnowledgeBase& kb,
                                      const QueryRequest& request) {
   QueryAnswer out;
+  // Filled per kind when the request asks for an explanation. Requests
+  // that fail (parse errors, unknown names) return before the plan is
+  // prepended — a failed query has no plan.
+  planner::PlanNode plan;
   switch (request.kind) {
     case QueryRequest::Kind::kAsk: {
       Result<Query> q = ParseQueryString(request.text, &kb.vocab().symbols());
@@ -353,13 +373,14 @@ QueryAnswer KbEngine::ServeQueryImpl(const KnowledgeBase& kb,
         out.status = q.status();
         return out;
       }
-      Result<RetrievalResult> r = Retrieve(kb, *q);
+      Result<RetrievalResult> r = planner::RetrieveQuery(
+          kb, *q, request.explain ? &plan : nullptr);
       if (!r.ok()) {
         out.status = r.status();
         return out;
       }
       out.values = Names(kb, r->answers);
-      return out;
+      break;
     }
     case QueryRequest::Kind::kAskPossible: {
       Result<Query> q = ParseQueryString(request.text, &kb.vocab().symbols());
@@ -373,7 +394,15 @@ QueryAnswer KbEngine::ServeQueryImpl(const KnowledgeBase& kb,
         return out;
       }
       out.values = Names(kb, *ids);
-      return out;
+      if (request.explain) {
+        // Possible-set semantics (not provably excluded) admit no
+        // complete index source; the scan over every visible individual
+        // is the only access path.
+        plan = planner::Node("possible-scan", {},
+                             kb.num_visible_individuals());
+        plan.act = ids->size();
+      }
+      break;
     }
     case QueryRequest::Kind::kAskDescription: {
       Result<Query> q = ParseQueryString(request.text, &kb.vocab().symbols());
@@ -388,7 +417,16 @@ QueryAnswer KbEngine::ServeQueryImpl(const KnowledgeBase& kb,
       }
       out.values.push_back(a->description->ToString(kb.vocab().symbols()));
       for (const std::string& m : a->msc_names) out.values.push_back(m);
-      return out;
+      if (request.explain) {
+        // The intensional answer classifies the query concept; the child
+        // shows the access path an extensional retrieval would take.
+        plan = planner::Node("ask-description", {}, 1);
+        plan.act = 1;
+        Result<NormalFormPtr> nf =
+            kb.normalizer().NormalizeConcept(q->level_constraints[0]);
+        if (nf.ok()) plan.children.push_back(planner::PlanConcept(kb, **nf));
+      }
+      break;
     }
     case QueryRequest::Kind::kPathQuery: {
       Result<PathQuery> q = ParsePathQueryString(request.text, kb);
@@ -409,7 +447,24 @@ QueryAnswer KbEngine::ServeQueryImpl(const KnowledgeBase& kb,
         }
         out.values.push_back(std::move(line));
       }
-      return out;
+      if (request.explain) {
+        // One child per conjunct: concept atoms carry the access path the
+        // planner would choose to seed their variable's domain; role
+        // atoms are joined over the known filler graph.
+        plan = planner::Node("path-query");
+        plan.act = r->rows.size();
+        for (const PathAtom& atom : q->atoms) {
+          if (atom.kind == PathAtom::Kind::kConcept) {
+            plan.children.push_back(
+                planner::PlanConcept(kb, *atom.concept_nf));
+          } else {
+            plan.children.push_back(planner::Node(
+                "role-join",
+                {kb.vocab().symbols().Name(kb.vocab().role(atom.role).name)}));
+          }
+        }
+      }
+      break;
     }
     case QueryRequest::Kind::kDescribeIndividual: {
       Result<IndId> ind = FindIndByName(kb, request.text);
@@ -418,7 +473,11 @@ QueryAnswer KbEngine::ServeQueryImpl(const KnowledgeBase& kb,
         return out;
       }
       out.values.push_back(kb.state(*ind).derived->ToString(kb.vocab()));
-      return out;
+      if (request.explain) {
+        plan = planner::Node("describe-individual", {request.text}, 1);
+        plan.act = 1;
+      }
+      break;
     }
     case QueryRequest::Kind::kMostSpecificConcepts: {
       Result<IndId> ind = FindIndByName(kb, request.text);
@@ -432,7 +491,11 @@ QueryAnswer KbEngine::ServeQueryImpl(const KnowledgeBase& kb,
         return out;
       }
       out.values = std::move(*msc);
-      return out;
+      if (request.explain) {
+        plan = planner::Node("most-specific-concepts", {request.text}, 1);
+        plan.act = out.values.size();
+      }
+      break;
     }
     case QueryRequest::Kind::kInstancesOf: {
       Symbol sym = kb.vocab().symbols().Lookup(request.text);
@@ -453,10 +516,22 @@ QueryAnswer KbEngine::ServeQueryImpl(const KnowledgeBase& kb,
       }
       const std::set<IndId>& inst = kb.Instances(*node);
       out.values = Names(kb, std::vector<IndId>(inst.begin(), inst.end()));
-      return out;
+      if (request.explain) {
+        // The extension of a named concept is maintained incrementally;
+        // answering is a direct read of the taxonomy node's instance set.
+        plan = planner::Node("instances-of", {request.text}, inst.size());
+        plan.act = inst.size();
+      }
+      break;
     }
+    default:
+      out.status = Status::InvalidArgument("unknown query kind");
+      return out;
   }
-  out.status = Status::InvalidArgument("unknown query kind");
+  if (request.explain) {
+    out.values.insert(out.values.begin(),
+                      planner::RenderPlan(QueryKindName(request.kind), plan));
+  }
   return out;
 }
 

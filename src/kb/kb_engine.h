@@ -77,10 +77,21 @@ struct QueryRequest {
   /// is shared, so a retained epoch costs only its delta). Requests
   /// naming an unretained epoch fail with NotFound.
   uint64_t as_of_epoch = 0;
+  /// When set, the answer's first value is the query plan the planner
+  /// chose (query/planner.h), rendered as `(plan <kind> <tree>)` with
+  /// estimated and actual per-node cardinalities. The remaining values
+  /// are the ordinary answer — explain never changes them.
+  bool explain = false;
 
   /// Fluent as-of marker: `QueryRequest::Ask("(...)").AsOf(3)`.
   QueryRequest AsOf(uint64_t epoch) && {
     as_of_epoch = epoch;
+    return std::move(*this);
+  }
+
+  /// Fluent explain marker: `QueryRequest::Ask("(...)").Explain()`.
+  QueryRequest Explain() && {
+    explain = true;
     return std::move(*this);
   }
 
@@ -98,11 +109,15 @@ struct QueryRequest {
   // One request surface for in-process callers, the repl's epoch ops and
   // the wire protocol (docs/PROTOCOL.md). The form is
   //
-  //   (request <kind-symbol> "<text>")           current-epoch request
-  //   (request <kind-symbol> "<text>" <epoch>)   as-of request
+  //   (request <kind-symbol> "<text>")                   current epoch
+  //   (request <kind-symbol> "<text>" <epoch>)           as-of request
+  //   (request <kind-symbol> "<text>" explain)           explained
+  //   (request <kind-symbol> "<text>" <epoch> explain)   both
   //
   // with <kind-symbol> the stable QueryKindName ("ask", "path-query",
-  // ...). FromSexpr(ToSexpr()) reproduces kind/text/as_of_epoch exactly.
+  // ...). The optional positive-integer epoch always precedes the
+  // optional `explain` symbol. FromSexpr(ToSexpr()) reproduces
+  // kind/text/as_of_epoch/explain exactly.
 
   sexpr::Value ToSexpr() const;
   std::string ToWire() const;  ///< ToSexpr() rendered to concrete syntax.
@@ -111,7 +126,7 @@ struct QueryRequest {
 
   bool operator==(const QueryRequest& other) const {
     return kind == other.kind && text == other.text &&
-           as_of_epoch == other.as_of_epoch;
+           as_of_epoch == other.as_of_epoch && explain == other.explain;
   }
 };
 

@@ -82,6 +82,7 @@ KnowledgeBase::KnowledgeBase(const KnowledgeBase& other)
       rules_(other.rules_),
       rules_mention_inds_(other.rules_mention_inds_),
       referenced_by_(other.referenced_by_.Fork()),
+      fills_index_(other.fills_index_.Fork()),
       stats_(other.stats_) {}
 
 std::unique_ptr<KnowledgeBase> KnowledgeBase::Clone() const {
@@ -91,14 +92,16 @@ std::unique_ptr<KnowledgeBase> KnowledgeBase::Clone() const {
 size_t KnowledgeBase::TakeCowCopyCount() {
   return states_.TakeChunkCopies() + base_log_.TakeChunkCopies() +
          instances_.TakeValueCopies() + referenced_by_.TakeValueCopies() +
-         rules_on_node_.TakeValueCopies() + taxonomy_.TakeCowCopies();
+         fills_index_.TakeValueCopies() + rules_on_node_.TakeValueCopies() +
+         taxonomy_.TakeCowCopies();
 }
 
 size_t KnowledgeBase::ApproxSharedCowBytes() const {
   return states_.ApproxChunkBytes() + base_log_.ApproxChunkBytes() +
          taxonomy_.ApproxSharedBytes() +
          (instances_.ApproxFrozenEntries() +
-          referenced_by_.ApproxFrozenEntries()) *
+          referenced_by_.ApproxFrozenEntries() +
+          fills_index_.ApproxFrozenEntries()) *
              sizeof(std::pair<IndId, std::set<IndId>>);
 }
 
@@ -419,6 +422,7 @@ Status KnowledgeBase::RederiveAll() {
   }
   instances_.Clear();
   referenced_by_.Clear();
+  fills_index_.Clear();
 
   Propagator prop(this, propagation_pool_);
   // Individuals with no assertions still need realization.

@@ -42,6 +42,7 @@
 #include "desc/normalize.h"
 #include "desc/parser.h"
 #include "desc/vocabulary.h"
+#include "kb/fills_index.h"
 #include "taxonomy/taxonomy.h"
 #include "util/cow.h"
 #include "util/stable_vector.h"
@@ -229,6 +230,10 @@ class KnowledgeBase {
   /// maintained incrementally).
   const std::set<IndId>& Instances(NodeId node) const;
 
+  /// \brief Filler-inverted postings + host-value range index (query
+  /// planner access paths). Immutable on published snapshots.
+  const FillsIndex& fills_index() const { return fills_index_; }
+
   /// \brief All CLASSIC individuals created so far (visible ones, on a
   /// frozen snapshot).
   std::vector<IndId> AllClassicIndividuals() const;
@@ -370,6 +375,11 @@ class KnowledgeBase {
   /// Reverse filler index: who mentions ind as a filler (cascade
   /// reclassification).
   mutable CowMap<IndId, std::set<IndId>> referenced_by_;
+  /// Filler-inverted postings + host-value range index for the query
+  /// planner. Maintained alongside referenced_by_ (same single call
+  /// site in PropagateToFillers), forked on publish, rebuilt by
+  /// RederiveAll.
+  mutable FillsIndex fills_index_;
 
   mutable KbStats stats_;
 };

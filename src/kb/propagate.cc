@@ -168,11 +168,28 @@ bool PropagationEngine::AddReference(IndId filler, IndId host) {
   return staged_refs_[filler].insert(host).second;
 }
 
+void PropagationEngine::AddPosting(RoleId role, IndId filler, IndId host) {
+  if (scope_ == nullptr) {
+    if (kb_->fills_index_.Add(role, filler, host, *kb_->vocab_)) {
+      journal_->postings_added.emplace_back(FillsIndex::Key(role, filler),
+                                            host);
+    }
+    return;
+  }
+  // Scoped: filter against the shared index through the concurrent-read
+  // safe Find (postings never drive re-enqueues, so unlike staged_refs_
+  // nothing downstream needs to consult the staging mid-run).
+  const std::set<IndId>* existing = kb_->fills_index_.Postings(role, filler);
+  if (existing != nullptr && existing->count(host) > 0) return;
+  staged_postings_[FillsIndex::Key(role, filler)].insert(host);
+}
+
 Status PropagationEngine::PropagateToFillers(IndId ind) {
   NormalFormPtr derived = kb_->StateRef(ind).derived;  // snapshot
   for (const auto& [role, rr] : derived->roles()) {
     for (IndId filler : rr.fillers) {
       AddReference(filler, ind);
+      AddPosting(role, filler, ind);
       if (!rr.value_restriction || rr.value_restriction->IsThing()) {
         continue;
       }
@@ -418,6 +435,7 @@ Status Propagator::Run(
         journal_.instance_inserts.push_back(e);
       }
       for (const auto& e : j.refs_added) journal_.refs_added.push_back(e);
+      for (const auto& e : j.postings_added) journal_.postings_added.push_back(e);
     }
     for (const auto& eng : engines) {
       waves += eng->waves();
@@ -449,6 +467,15 @@ Status Propagator::Run(
           for (IndId h : hosts) {
             if (refs.insert(h).second) {
               journal_.refs_added.emplace_back(filler, h);
+            }
+          }
+        }
+        for (const auto& [key, hosts] : eng->staged_postings()) {
+          for (IndId h : hosts) {
+            if (kb_->fills_index_.Add(FillsIndex::KeyRole(key),
+                                      FillsIndex::KeyFiller(key), h,
+                                      *kb_->vocab_)) {
+              journal_.postings_added.emplace_back(key, h);
             }
           }
         }
@@ -513,6 +540,10 @@ void Propagator::RollbackAll() {
   }
   for (const auto& [filler, host] : journal_.refs_added) {
     kb_->referenced_by_.Mutable(filler).erase(host);
+  }
+  for (const auto& [key, host] : journal_.postings_added) {
+    kb_->fills_index_.Remove(FillsIndex::KeyRole(key),
+                             FillsIndex::KeyFiller(key), host);
   }
   ++kb_->stats_.rejected_updates;
   journal_ = PropagationJournal{};

@@ -81,6 +81,9 @@ struct PropagationJournal {
   std::vector<std::pair<NodeId, IndId>> instance_inserts;
   /// (filler, host) pairs actually inserted into the reverse index.
   std::vector<std::pair<IndId, IndId>> refs_added;
+  /// (posting key, host) pairs actually inserted into the fills index
+  /// (the key packs role and filler; see FillsIndex::Key).
+  std::vector<std::pair<uint64_t, IndId>> postings_added;
 };
 
 /// \brief The wave-based worklist engine. Runs one region (the whole
@@ -124,6 +127,9 @@ class PropagationEngine {
   const std::map<IndId, std::set<IndId>>& staged_refs() const {
     return staged_refs_;
   }
+  const std::map<uint64_t, std::set<IndId>>& staged_postings() const {
+    return staged_postings_;
+  }
   const std::vector<std::pair<IndId, NormalFormPtr>>& pending_merges() const {
     return pending_merges_;
   }
@@ -156,6 +162,12 @@ class PropagationEngine {
   /// unscoped, staged when scoped). True iff the pair was new.
   bool AddReference(IndId filler, IndId host);
 
+  /// Records host's derived (role, filler) in the filler-inverted
+  /// postings (direct when unscoped, staged when scoped). Same single
+  /// call site as AddReference, so the index is complete for the same
+  /// reason the reverse index is.
+  void AddPosting(RoleId role, IndId filler, IndId host);
+
   KnowledgeBase* kb_;
   PropagationJournal* journal_;
   /// Component membership; nullptr = unscoped (whole database).
@@ -168,6 +180,7 @@ class PropagationEngine {
   /// Scoped-mode staging.
   std::set<std::pair<NodeId, IndId>> staged_instances_;
   std::map<IndId, std::set<IndId>> staged_refs_;
+  std::map<uint64_t, std::set<IndId>> staged_postings_;
   std::vector<std::pair<IndId, NormalFormPtr>> pending_merges_;
   std::vector<IndId> pending_seeds_;
 

@@ -94,6 +94,16 @@ Result<QueryRequest> Session::RequestFromForm(const sexpr::Value& form) {
     return Rest(form, 1);
   };
   if (head == "request") return QueryRequest::FromSexpr(form);
+  if (head == "explain") {
+    // (explain <query-form>) wraps any other read-only form; the answer
+    // leads with the rendered plan.
+    if (form.size() != 2) {
+      return Status::InvalidArgument(
+          StrCat("expected (explain <query-form>), got: ", form.ToString()));
+    }
+    CLASSIC_ASSIGN_OR_RETURN(QueryRequest inner, RequestFromForm(form.at(1)));
+    return std::move(inner).Explain();
+  }
   if (head == "ask") {
     CLASSIC_ASSIGN_OR_RETURN(std::string q, query_rest());
     return QueryRequest::Ask(std::move(q));
@@ -125,7 +135,8 @@ Result<QueryRequest> Session::RequestFromForm(const sexpr::Value& form) {
   return Status::InvalidArgument(
       StrCat("cannot serve ", head,
              " (read-only query forms only: ask, ask-possible, "
-             "ask-description, select, instances, msc, describe)"));
+             "ask-description, select, instances, msc, describe, "
+             "explain)"));
 }
 
 Result<QueryRequest> Session::ParseRequest(const std::string& text) {

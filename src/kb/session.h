@@ -79,12 +79,12 @@ class Session {
   /// \brief Maps one read-only operator-language form to the engine
   /// request it corresponds to. This is the shared parsing surface of
   /// the repl's (as-of E <form>) and the wire protocol's request frames;
-  /// both the canonical form `(request <kind> "<text>" [epoch])` and the
-  /// human forms are accepted:
+  /// both the canonical form `(request <kind> "<text>" [epoch] [explain])`
+  /// and the human forms are accepted:
   ///
   ///   (ask <query>) (ask-possible <query>) (ask-description <query>)
   ///   (select (vars...) atoms...) (instances NAME) (msc Ind)
-  ///   (describe Ind)
+  ///   (describe Ind) (explain <any of the above>)
   static Result<QueryRequest> RequestFromForm(const sexpr::Value& form);
 
   /// \brief Parses request text (one form) and maps it via

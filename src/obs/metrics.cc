@@ -28,6 +28,10 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "propagation-wavefronts",
     "propagation-dedup-hits",
     "propagation-max-wavefront",
+    "planner-index-path",
+    "planner-scan-path",
+    "planner-postings-scanned",
+    "planner-candidates-pruned",
 };
 
 constexpr const char* kOpNames[kNumOps] = {

@@ -109,6 +109,19 @@ enum class Counter : uint32_t {
   /// Watermark (not a sum): the largest single wavefront ever drained.
   /// Maintained by CounterMaxTo directly on the global total.
   kPropagationMaxWavefront,
+  /// Concept retrievals the planner answered through an index-derived
+  /// candidate set (FILLS postings / host ranges / enumerations,
+  /// including the equivalent-concept extension fast path).
+  kPlannerIndexPath,
+  /// Concept retrievals the planner answered by the taxonomy-pruned
+  /// candidate scan (the paper's Section 5 technique).
+  kPlannerScanPath,
+  /// Posting-list entries materialized into candidate bitsets by
+  /// index-path retrievals (the index-side I/O of the cost model).
+  kPlannerPostingsScanned,
+  /// Candidates the index intersection eliminated before the
+  /// per-candidate Satisfies test (work the scan path would have done).
+  kPlannerCandidatesPruned,
   kCount
 };
 

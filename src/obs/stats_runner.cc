@@ -89,6 +89,14 @@ std::string ProgramStats::ToJson() const {
     if (i > 0) out += ",\n            ";
     out += PhaseToJson(phases[i]);
   }
+  out += "],\n \"planner\": [";
+  for (size_t i = 0; i < planner.size(); ++i) {
+    if (i > 0) out += ",\n             ";
+    out += StrCat("{\"kind\": \"", planner[i].kind,
+                  "\", \"queries\": ", planner[i].queries,
+                  ", \"index-path\": ", planner[i].index_path,
+                  ", \"scan-path\": ", planner[i].scan_path, "}");
+  }
   out += StrCat("],\n \"registry\": ", registry.ToJson(), "}");
   return out;
 }
@@ -103,6 +111,12 @@ std::string ProgramStats::ToText() const {
       out += StrCat("  ", CounterName(static_cast<Counter>(i)), " = ",
                     p.counters[i], "\n");
     }
+  }
+  for (const PlannerKindStats& p : planner) {
+    if (p.queries == 0) continue;
+    out += StrCat("planner ", p.kind, ": ", p.queries, " queries, ",
+                  p.index_path, " index-path, ", p.scan_path,
+                  " scan-path\n");
   }
   out += registry.ToText();
   return out;
@@ -165,8 +179,24 @@ Result<ProgramStats> ReplayProgramWithStats(const std::string& path) {
     CounterDeltaScope window;
     const uint64_t start = MonotonicNanos();
     SnapshotPtr snap = engine.snapshot();
+    // Always report all seven kinds in Kind order, even at zero — the
+    // histogram's shape is part of the JSON contract.
+    constexpr size_t kNumKinds =
+        static_cast<size_t>(QueryRequest::Kind::kInstancesOf) + 1;
+    report.planner.resize(kNumKinds);
+    for (size_t k = 0; k < kNumKinds; ++k) {
+      report.planner[k].kind =
+          QueryKindName(static_cast<QueryRequest::Kind>(k));
+    }
     for (const QueryRequest& req : queries) {
-      (void)KbEngine::ServeQuery(snap->kb(), req);
+      // ServeQuery's per-answer counter deltas attribute each concept
+      // retrieval's access-path choice to the request that caused it.
+      QueryAnswer ans = KbEngine::ServeQuery(snap->kb(), req);
+      PlannerKindStats& pk =
+          report.planner[static_cast<size_t>(req.kind)];
+      ++pk.queries;
+      pk.index_path += ans.stats.counter(Counter::kPlannerIndexPath);
+      pk.scan_path += ans.stats.counter(Counter::kPlannerScanPath);
       ++phase.ops;
     }
     phase.wall_nanos = MonotonicNanos() - start;

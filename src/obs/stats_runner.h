@@ -37,12 +37,29 @@ struct PhaseStats {
   CounterArray counters{};
 };
 
+/// \brief Planner access-path choices for one request kind: how many
+/// queries of that kind ran, and how many concept retrievals inside them
+/// the planner answered from an index-derived candidate set vs. the
+/// taxonomy-pruned scan. One query can contribute several retrievals (a
+/// path query plans each concept atom), so index_path + scan_path may
+/// exceed queries.
+struct PlannerKindStats {
+  std::string kind;
+  uint64_t queries = 0;
+  uint64_t index_path = 0;
+  uint64_t scan_path = 0;
+};
+
 /// \brief The full report for one program run.
 struct ProgramStats {
   std::string file;
   /// Always exactly "load", "publish", "query", in that order (a stable
   /// shape — the golden schema check depends on it).
   std::vector<PhaseStats> phases;
+  /// Per-kind planner choice histogram for the query phase: always all
+  /// seven request kinds, in QueryRequest::Kind order (another stable
+  /// shape the schema check pins).
+  std::vector<PlannerKindStats> planner;
   /// Registry state after the run (counters + latency histograms).
   MetricsSnapshot registry;
 

@@ -1,0 +1,102 @@
+// The classification-aware query planner (DESIGN.md section 14).
+//
+// Concept retrieval used to be one hard-coded strategy: classify the
+// query, answer from subsumed concepts' extensions, then test every
+// instance of the parents. The planner turns index-vs-scan into a *plan
+// choice*: it gathers every complete candidate source the query offers —
+//
+//   - taxonomy:     the instance sets of the query's classified parents
+//                   (classification soundness makes them complete),
+//   - fills:        the filler-inverted posting list of each top-level
+//                   FILLS conjunct (Satisfies requires derived fillers to
+//                   be a superset of the query's, so each list is a
+//                   complete superset of the answers),
+//   - host-range:   the same postings reached through the per-role
+//                   host-value range map (point ranges for FILLS of host
+//                   literals; the range API itself serves interval scans),
+//   - enumeration:  the members of a ONE-OF conjunct (identity is
+//                   definite under the unique-name assumption),
+//
+// picks the cheapest base by a cost model (observed set sizes, blended
+// with the live memo-hit rate for the per-candidate test cost, with the
+// PR 9 static selectivity profile as the residual-cardinality prior),
+// intersects the rest as DynamicBitsets over the frozen
+// visible-individual bound, and only then falls back to per-candidate
+// Satisfies. ALL / AT-LEAST / TEST / SAME-AS conjuncts are *not*
+// complete sources (an individual can satisfy them without any known
+// filler), so they never prune — which is exactly why index-on and
+// index-off answers are byte-identical by construction.
+//
+// Every plan is explainable: PlanNode renders to a canonical sexpr with
+// estimated and actual per-node cardinalities, surfaced through
+// QueryRequest::explain (wire + repl `(explain <query>)`).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace classic::planner {
+
+/// \brief Access-path selection policy. kForceScan reproduces the
+/// pre-planner taxonomy-pruned scan exactly; kForceIndex always prefers
+/// an index-derived base when one exists; kAuto chooses by cost. The
+/// mode is a process-wide atomic (test/bench knob, TSan-safe); answers
+/// are identical under every mode by construction.
+enum class Mode : int { kAuto = 0, kForceIndex = 1, kForceScan = 2 };
+
+void SetMode(Mode m);
+Mode mode();
+
+/// Sentinel for "this node was planned but never executed".
+inline constexpr uint64_t kNotExecuted = ~uint64_t{0};
+
+/// \brief One node of a query plan: an operator label, optional detail
+/// tokens (role / concept / filler names), the estimated output
+/// cardinality, the actual output cardinality once executed, and child
+/// nodes. Plain data — entry points that need only a descriptive plan
+/// (describe, instances-of, ...) assemble nodes directly.
+struct PlanNode {
+  std::string op;
+  std::vector<std::string> detail;
+  uint64_t est = 0;
+  uint64_t act = kNotExecuted;
+  std::vector<PlanNode> children;
+
+  /// Canonical rendering: `(op detail... est=N [act=M] children...)`.
+  /// Deterministic for a given KB state and plan (golden-testable).
+  std::string ToSexpr() const;
+};
+
+/// \brief Convenience constructor.
+PlanNode Node(std::string op, std::vector<std::string> detail = {},
+              uint64_t est = 0);
+
+/// \brief Renders a full plan as `(plan <kind> <root>)` — the form
+/// prepended to QueryAnswer::values when QueryRequest::explain is set.
+std::string RenderPlan(const char* kind_name, const PlanNode& root);
+
+/// \brief The planner's concept-level executor: plans one normalized
+/// concept, executes the chosen access path, and returns the answers
+/// (sorted, byte-identical across modes). When `plan` is non-null the
+/// chosen plan tree with actual per-node cardinalities is stored there.
+/// query.cc's RetrieveNormalForm delegates here, so path queries and
+/// descriptions take the same access paths.
+Result<RetrievalResult> RetrieveConcept(const KnowledgeBase& kb,
+                                        const NormalForm& nf, PlanNode* plan);
+
+/// \brief Full query retrieval including the `?:` marker walk (each walk
+/// step wraps the plan in a marker-walk node). The engine's kAsk path.
+Result<RetrievalResult> RetrieveQuery(const KnowledgeBase& kb,
+                                      const Query& query, PlanNode* plan);
+
+/// \brief Plan-only variant (no execution; actual cardinalities stay
+/// kNotExecuted below the root): the access path RetrieveConcept would
+/// choose right now. Used to explain entry points that execute through
+/// other evaluators (description queries, path-query concept atoms).
+PlanNode PlanConcept(const KnowledgeBase& kb, const NormalForm& nf);
+
+}  // namespace classic::planner

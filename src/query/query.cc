@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "desc/parser.h"
+#include "query/planner.h"
 #include "subsume/subsume.h"
 #include "util/string_util.h"
 
@@ -195,71 +196,12 @@ Query QueryFromConcept(DescPtr concept_desc) {
 
 Result<RetrievalResult> RetrieveNormalForm(const KnowledgeBase& kb,
                                            const NormalForm& nf) {
-  RetrievalResult out;
-  const Taxonomy& tax = kb.taxonomy();
-  Classification cls = tax.Classify(nf);
-  out.stats.classification_tests = cls.subsumption_tests;
-
-  std::set<IndId> answers;
-
-  if (cls.equivalent) {
-    // The query names (an equivalent of) a schema concept: its extension
-    // is maintained incrementally; no tests at all.
-    const auto& inst = kb.Instances(*cls.equivalent);
-    answers.insert(inst.begin(), inst.end());
-    out.stats.answers_from_index += inst.size();
-    out.answers.assign(answers.begin(), answers.end());
-    return out;
-  }
-
-  // Instances of subsumed named concepts satisfy the query by definition.
-  for (NodeId child : cls.children) {
-    const auto& inst = kb.Instances(child);
-    for (IndId i : inst) {
-      if (answers.insert(i).second) ++out.stats.answers_from_index;
-    }
-  }
-
-  // Candidates: instances of every parent, minus the ones already known.
-  std::vector<IndId> candidates;
-  if (cls.parents.empty()) {
-    // Only THING subsumes the query: every (visible) individual is a
-    // candidate. The visible bound is frozen on published snapshots, so
-    // host values interned by concurrent query normalization never change
-    // an answer set.
-    for (IndId i = 0; i < kb.num_visible_individuals(); ++i) {
-      if (answers.count(i) == 0) candidates.push_back(i);
-    }
-  } else {
-    // Use the smallest parent extension, then require membership in the
-    // others.
-    NodeId smallest = cls.parents[0];
-    for (NodeId p : cls.parents) {
-      if (kb.Instances(p).size() < kb.Instances(smallest).size()) {
-        smallest = p;
-      }
-    }
-    for (IndId i : kb.Instances(smallest)) {
-      if (answers.count(i) > 0) continue;
-      bool in_all = true;
-      for (NodeId p : cls.parents) {
-        if (p == smallest) continue;
-        if (kb.Instances(p).count(i) == 0) {
-          in_all = false;
-          break;
-        }
-      }
-      if (in_all) candidates.push_back(i);
-    }
-  }
-
-  for (IndId i : candidates) {
-    ++out.stats.candidates_tested;
-    if (kb.Satisfies(i, nf)) answers.insert(i);
-  }
-
-  out.answers.assign(answers.begin(), answers.end());
-  return out;
+  // The planner owns concept-level retrieval: it reproduces the
+  // classify-then-test technique as its scan path and may substitute an
+  // index-derived candidate set when the query offers one (the answers
+  // are identical either way). Every composed evaluator — path-query
+  // concept atoms, description queries — inherits the access paths.
+  return planner::RetrieveConcept(kb, nf, nullptr);
 }
 
 namespace {
@@ -318,7 +260,7 @@ Result<RetrievalResult> RetrieveWith(const KnowledgeBase& kb,
 }  // namespace
 
 Result<RetrievalResult> Retrieve(const KnowledgeBase& kb, const Query& query) {
-  return RetrieveWith(kb, query, &RetrieveNormalForm);
+  return planner::RetrieveQuery(kb, query, nullptr);
 }
 
 Result<RetrievalResult> RetrieveNaive(const KnowledgeBase& kb,

@@ -57,14 +57,16 @@ TEST(WireTest, RequestRoundTripIsExhaustiveOverKinds) {
     for (const std::string& text : HostileTexts()) {
       for (uint64_t epoch : {uint64_t{0}, uint64_t{1}, uint64_t{8},
                              uint64_t{1} << 40}) {
-        QueryRequest original{kind, text, epoch};
-        Result<QueryRequest> decoded =
-            QueryRequest::FromWire(original.ToWire());
-        ASSERT_TRUE(decoded.ok())
-            << QueryKindName(kind) << " / " << original.ToWire() << ": "
-            << decoded.status().ToString();
-        EXPECT_TRUE(*decoded == original)
-            << "round-trip mismatch for " << original.ToWire();
+        for (bool explain : {false, true}) {
+          QueryRequest original{kind, text, epoch, explain};
+          Result<QueryRequest> decoded =
+              QueryRequest::FromWire(original.ToWire());
+          ASSERT_TRUE(decoded.ok())
+              << QueryKindName(kind) << " / " << original.ToWire() << ": "
+              << decoded.status().ToString();
+          EXPECT_TRUE(*decoded == original)
+              << "round-trip mismatch for " << original.ToWire();
+        }
       }
     }
   }
@@ -90,6 +92,10 @@ TEST(WireTest, RequestFromSexprRejectsMalformedForms) {
            "(request ask \"x\" 0)",         // epoch must be positive
            "(request ask \"x\" -2)",        // negative epoch
            "(request ask \"x\" 1 2)",       // trailing junk
+           "(request ask \"x\" explain 1)", // epoch must precede explain
+           "(request ask \"x\" bogus)",     // unknown tail symbol
+           "(request ask \"x\" \"explain\")",  // symbol, not a string
+           "(request ask \"x\" 1 explain explain)",  // duplicated
        }) {
     EXPECT_FALSE(QueryRequest::FromWire(bad).ok()) << bad;
   }
